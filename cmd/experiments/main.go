@@ -1,0 +1,65 @@
+// Command experiments regenerates the paper's tables and figures on the
+// simulated substrates (see DESIGN.md for the per-experiment index).
+//
+// Usage:
+//
+//	experiments -list
+//	experiments -run Fig6a,Tab4 [-quick] [-seed N] [-workers N]
+//	experiments -run all -quick
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		runIDs  = flag.String("run", "", "comma-separated experiment IDs, or 'all'")
+		list    = flag.Bool("list", false, "list available experiments")
+		quick   = flag.Bool("quick", false, "small-scale variants (the artifact's *_exp analogue)")
+		seed    = flag.Int64("seed", 2021, "random seed")
+		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel workers")
+	)
+	flag.Parse()
+
+	specs := experiments.All()
+	if *list || *runIDs == "" {
+		fmt.Println("Available experiments:")
+		for _, s := range specs {
+			fmt.Printf("  %-6s %s\n", s.ID, s.Description)
+		}
+		if *runIDs == "" {
+			fmt.Println("\nRun with -run <ID>[,<ID>...] or -run all (add -quick for small scale).")
+		}
+		return
+	}
+
+	var selected []experiments.Spec
+	if *runIDs == "all" {
+		selected = specs
+	} else {
+		for _, id := range strings.Split(*runIDs, ",") {
+			id = strings.TrimSpace(id)
+			spec := experiments.Find(id)
+			if spec == nil {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", id)
+				os.Exit(1)
+			}
+			selected = append(selected, *spec)
+		}
+	}
+
+	for _, s := range selected {
+		fmt.Printf("=== %s: %s (quick=%v) ===\n", s.ID, s.Description, *quick)
+		start := time.Now()
+		s.Run(os.Stdout, *quick, *seed, *workers)
+		fmt.Printf("=== %s done in %v ===\n\n", s.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,130 @@
+// Command gptune tunes one of the registered application simulators with
+// any of the supported autotuners, optionally archiving evaluations in a
+// history database (the paper's "tuning improves over time" workflow).
+//
+// Usage:
+//
+//	gptune -app analytical -delta 4 -eps 20
+//	gptune -app qr -tuner opentuner -eps 10
+//	gptune -app superlu-mo -eps 40 -history runs.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+
+	"repro/gptune"
+	"repro/internal/apps/analytical"
+	"repro/internal/apps/hypre"
+	"repro/internal/apps/mhd"
+	"repro/internal/apps/scalapack"
+	"repro/internal/apps/superlu"
+)
+
+// appProblem returns the problem for a registered application name.
+func appProblem(name string) (*gptune.Problem, error) {
+	switch name {
+	case "analytical":
+		return analytical.Problem(), nil
+	case "qr", "pdgeqrf":
+		return scalapack.NewQR(16, 20000).Problem(), nil
+	case "eigen", "pdsyevx":
+		return scalapack.NewEigen(1, 7000).Problem(), nil
+	case "superlu":
+		return superlu.New(32).Problem(), nil
+	case "superlu-mo":
+		return superlu.New(8).ProblemMO(), nil
+	case "hypre":
+		return hypre.New(1).Problem(), nil
+	case "m3dc1":
+		return mhd.New(mhd.M3DC1).Problem(), nil
+	case "nimrod":
+		return mhd.New(mhd.NIMROD).Problem(), nil
+	}
+	return nil, fmt.Errorf("unknown app %q (available: analytical, qr, eigen, superlu, superlu-mo, hypre, m3dc1, nimrod)", name)
+}
+
+func main() {
+	var (
+		app     = flag.String("app", "analytical", "application to tune")
+		tuner   = flag.String("tuner", "gptune", "tuner: gptune (multitask MLA), "+strings.Join(gptune.TunerNames(), ", "))
+		delta   = flag.Int("delta", 3, "number of tasks δ (sampled from the task space)")
+		eps     = flag.Int("eps", 20, "function evaluations per task ε_tot")
+		seed    = flag.Int64("seed", 1, "random seed")
+		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel workers")
+		history = flag.String("history", "", "history database path (loaded and updated)")
+	)
+	flag.Parse()
+
+	p, err := appProblem(*app)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	tasks, err := gptune.SampleTasks(p, *delta, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("Tuning %s with %s: δ=%d tasks, ε_tot=%d\n", p.Name, *tuner, *delta, *eps)
+	if *tuner == "gptune" {
+		// Full multitask MLA across all tasks.
+		res, err := gptune.Tune(p, tasks, gptune.Options{
+			EpsTot: *eps, Seed: *seed, Workers: *workers, LogY: true,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		for i, tr := range res.Tasks {
+			x, y := tr.Best()
+			fmt.Printf("task %d: %s\n", i, p.Tasks.Describe(tr.Task))
+			fmt.Printf("  Popt: %s\n  Oopt: %v\n", p.Tuning.Describe(x), y)
+			if p.Outputs.Dim() > 1 {
+				fmt.Printf("  Pareto front: %d points\n", len(tr.ParetoFront()))
+			}
+		}
+		fmt.Printf("stats: objective=%v modeling=%v search=%v total=%v evals=%d\n",
+			res.Stats.Objective, res.Stats.Modeling, res.Stats.Search,
+			res.Stats.Total, res.Stats.NumEvals)
+		saveHistory(*history, p.Name, res)
+		return
+	}
+
+	tn, err := gptune.NewTuner(*tuner)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	for i, task := range tasks {
+		tr, err := tn.Tune(p, task, *eps, *seed+int64(i))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		x, y := tr.Best()
+		fmt.Printf("task %d: %s\n  Popt: %s\n  Oopt: %v\n",
+			i, p.Tasks.Describe(task), p.Tuning.Describe(x), y)
+	}
+}
+
+func saveHistory(path, problem string, res *gptune.Result) {
+	if path == "" {
+		return
+	}
+	db, err := gptune.LoadHistory(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "history: %v\n", err)
+		return
+	}
+	gptune.RecordResult(db, problem, res)
+	if err := db.Save(path); err != nil {
+		fmt.Fprintf(os.Stderr, "history: %v\n", err)
+		return
+	}
+	fmt.Printf("history: %d records in %s\n", db.Len(), path)
+}

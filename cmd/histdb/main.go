@@ -1,0 +1,89 @@
+// Command histdb inspects and merges GPTune history databases (the paper's
+// archive of tuning data across executions).
+//
+// Usage:
+//
+//	histdb -db runs.json list
+//	histdb -db runs.json best pdgeqrf
+//	histdb -db runs.json merge other.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/histdb"
+)
+
+func main() {
+	var (
+		dbPath  = flag.String("db", "gptune-history.json", "history database path")
+		problem = flag.String("problem", "", "problem name filter")
+	)
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: histdb -db <path> {list | best <problem> | merge <other.json>}")
+		os.Exit(1)
+	}
+
+	db, err := histdb.Load(*dbPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	switch args[0] {
+	case "list":
+		fmt.Printf("%d records in %s\n", db.Len(), *dbPath)
+		probs := map[string]bool{}
+		for _, r := range db.Query(*problem, nil) {
+			probs[r.Problem] = true
+		}
+		if *problem == "" {
+			// Enumerate problems via a full scan.
+			for _, r := range db.Query("", nil) {
+				probs[r.Problem] = true
+			}
+		}
+		for p := range probs {
+			tasks := db.Tasks(p)
+			fmt.Printf("  problem %-16s %d tasks, %d records\n", p, len(tasks), len(db.Query(p, nil)))
+		}
+	case "best":
+		name := *problem
+		if len(args) > 1 {
+			name = args[1]
+		}
+		if name == "" {
+			fmt.Fprintln(os.Stderr, "usage: histdb -db <path> best <problem>")
+			os.Exit(1)
+		}
+		for _, task := range db.Tasks(name) {
+			if r, ok := db.Best(name, task); ok {
+				fmt.Printf("  task %v: best %v at config %v (%s)\n",
+					task, r.Outputs, r.Config, r.Stamp.Format("2006-01-02 15:04"))
+			}
+		}
+	case "merge":
+		if len(args) < 2 {
+			fmt.Fprintln(os.Stderr, "merge requires a second database path")
+			os.Exit(1)
+		}
+		other, err := histdb.Load(args[1])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		db.Merge(other)
+		if err := db.Save(*dbPath); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("merged %d records from %s; %s now has %d\n", other.Len(), args[1], *dbPath, db.Len())
+	default:
+		fmt.Fprintf(os.Stderr, "unknown subcommand %q\n", args[0])
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,58 @@
+// hypre example: tune the multigrid-preconditioned GMRES simulator on
+// several 3D grids at once, then pit GPTune against the OpenTuner- and
+// HpBandSter-style baselines on one of them (the Section 6.6/Table 4
+// workflow at small scale).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/gptune"
+	"repro/internal/apps/hypre"
+)
+
+func main() {
+	app := hypre.New(1) // one 32-core node
+	problem := app.Problem()
+
+	tasks := [][]float64{
+		{40, 40, 40},
+		{80, 20, 20},
+		{25, 60, 35},
+	}
+	const eps = 12
+
+	res, err := gptune.Tune(problem, tasks, gptune.Options{
+		EpsTot: eps, Seed: 5, Workers: 4, LogY: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("multitask MLA results:")
+	for i, tr := range res.Tasks {
+		x, y := tr.Best()
+		fmt.Printf("  grid %v: best %.4fs with %s\n",
+			tasks[i], y[0], problem.Tuning.Describe(x))
+	}
+
+	fmt.Println("\ntuner comparison on the first grid:")
+	fmt.Printf("  %-12s %.4fs\n", "gptune", mustBest(res))
+	for _, name := range []string{"opentuner", "hpbandster", "surf", "random"} {
+		tn, err := gptune.NewTuner(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tr, err := tn.Tune(problem, tasks[0], eps, 99)
+		if err != nil {
+			log.Fatal(err)
+		}
+		_, y := tr.Best()
+		fmt.Printf("  %-12s %.4fs\n", name, y[0])
+	}
+}
+
+func mustBest(res *gptune.Result) float64 {
+	_, y := res.Tasks[0].Best()
+	return y[0]
+}

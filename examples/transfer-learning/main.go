@@ -1,0 +1,70 @@
+// Transfer-learning example: archive tuning data in the history database and
+// reuse it in a later session — the paper's goal #3 ("archiving and reusing
+// tuning data from multiple executions to allow tuning to improve over
+// time"). A first session tunes two M3D_C1 step counts and saves its
+// evaluations; a second session loads the archive and starts from the best
+// archived configuration instead of from scratch.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"repro/gptune"
+	"repro/internal/apps/mhd"
+)
+
+func main() {
+	app := mhd.New(mhd.M3DC1)
+	problem := app.Problem()
+	dbPath := filepath.Join(os.TempDir(), "gptune-transfer-demo.json")
+	defer os.Remove(dbPath)
+
+	// --- Session 1: tune cheap tasks and archive everything. ---
+	res, err := gptune.Tune(problem, [][]float64{{1}, {2}}, gptune.Options{
+		EpsTot: 10, Seed: 11, Workers: 4, LogY: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	db := gptune.NewHistory()
+	gptune.RecordResult(db, problem.Name, res)
+	if err := db.Save(dbPath); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("session 1: archived %d evaluations to %s\n", db.Len(), dbPath)
+
+	// --- Session 2: a more expensive task (10 steps). Compare tuning from
+	// scratch against simply reusing the best archived configuration. ---
+	loaded, err := gptune.LoadHistory(dbPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	best, ok := loaded.Best(problem.Name, []float64{2})
+	if !ok {
+		log.Fatal("no archived records for task t=2")
+	}
+	fmt.Printf("session 2: best archived config for t=2: %s\n",
+		problem.Tuning.Describe(best.Config))
+
+	// Evaluate the transferred configuration directly on the new task.
+	yTransfer, err := problem.Objective([]float64{10}, best.Config)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// And tune the new task from scratch with a tiny budget for contrast.
+	res2, err := gptune.Tune(problem, [][]float64{{10}}, gptune.Options{
+		EpsTot: 6, Seed: 12, Workers: 4, LogY: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	_, yScratch := res2.Tasks[0].Best()
+
+	fmt.Printf("t=10 with transferred config: %.2fs\n", yTransfer[0])
+	fmt.Printf("t=10 tuned from scratch (6 evals): %.2fs\n", yScratch[0])
+	fmt.Println("(the archived configuration is competitive at zero new evaluations)")
+}

@@ -1,0 +1,213 @@
+// Package gptune is the public API of this Go reproduction of GPTune
+// (Liu et al., "GPTune: Multitask Learning for Autotuning Exascale
+// Applications", PPoPP 2021): a multitask-learning Bayesian optimization
+// autotuner for expensive black-box functions such as HPC application
+// runtimes.
+//
+// A tuning problem is described by three spaces (Section 2 of the paper):
+// the task parameter input space IS, the tuning parameter space PS, and the
+// output space OS, plus a black-box objective. The tuner runs MLA
+// (multitask learning autotuning): an initial Latin-hypercube sampling
+// phase, then Bayesian-optimization iterations that share one Linear
+// Coregionalization Model across all tasks, maximize Expected Improvement
+// with particle swarm optimization per task, and evaluate one new
+// configuration per task per iteration. Multi-objective problems (γ > 1)
+// use one LCM per objective and NSGA-II search; coarse analytical
+// performance models can be attached to enrich the surrogate's features.
+//
+// The same interface can invoke the comparator autotuners of the paper's
+// Section 6.6 (an OpenTuner-style bandit ensemble and an HpBandSter-style
+// TPE optimizer) plus random and grid search, for side-by-side evaluations.
+//
+// Basic use:
+//
+//	problem := &gptune.Problem{
+//	    Tasks:   gptune.NewSpace(gptune.Real("t", 0, 10)),
+//	    Tuning:  gptune.NewSpace(gptune.Real("x", 0, 1)),
+//	    Outputs: gptune.Outputs("runtime"),
+//	    Objective: func(task, x []float64) ([]float64, error) { ... },
+//	}
+//	result, err := gptune.Tune(problem, [][]float64{{0}, {1}}, gptune.Options{EpsTot: 20})
+package gptune
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/gp"
+	"repro/internal/histdb"
+	"repro/internal/opt"
+	"repro/internal/sample"
+	"repro/internal/space"
+	"repro/internal/tuners"
+	"repro/internal/tuners/hpbandster"
+	"repro/internal/tuners/opentuner"
+	"repro/internal/tuners/singletask"
+	"repro/internal/tuners/surf"
+
+	"math/rand"
+)
+
+// Problem describes a tuning problem (task space, tuning space, outputs,
+// objective, optional performance model). See core.Problem.
+type Problem = core.Problem
+
+// Options configures an MLA run. See core.Options.
+type Options = core.Options
+
+// Result is an MLA run outcome: per-task samples plus phase timing stats.
+type Result = core.Result
+
+// TaskResult holds one task's evaluations in order.
+type TaskResult = core.TaskResult
+
+// PhaseStats is the per-phase wall-time breakdown (objective, modeling,
+// search), as in the paper's Table 3.
+type PhaseStats = core.PhaseStats
+
+// PerfModel is a coarse analytical performance model with tunable
+// coefficients (paper Section 3.3).
+type PerfModel = core.PerfModel
+
+// Space is an ordered set of typed parameters with optional constraints.
+type Space = space.Space
+
+// Param declares one parameter of a Space.
+type Param = space.Param
+
+// Real declares a continuous parameter on [lo, hi].
+func Real(name string, lo, hi float64) Param { return space.NewReal(name, lo, hi) }
+
+// LogReal declares a continuous parameter normalized on a log axis.
+func LogReal(name string, lo, hi float64) Param { return space.NewLogReal(name, lo, hi) }
+
+// Integer declares a whole-valued parameter on [lo, hi].
+func Integer(name string, lo, hi int) Param { return space.NewInteger(name, lo, hi) }
+
+// LogInteger declares an integer parameter normalized on a log axis.
+func LogInteger(name string, lo, hi int) Param { return space.NewLogInteger(name, lo, hi) }
+
+// Categorical declares a discrete choice parameter.
+func Categorical(name string, categories ...string) Param {
+	return space.NewCategorical(name, categories...)
+}
+
+// NewSpace builds a Space, panicking on invalid parameters (use space.New
+// for error returns).
+func NewSpace(params ...Param) *Space { return space.MustNew(params...) }
+
+// Outputs declares γ minimized objectives.
+func Outputs(names ...string) *space.OutputSpace { return space.NewOutputSpace(names...) }
+
+// PSOParams configures the search phase swarm.
+type PSOParams = opt.PSOParams
+
+// Tune runs multitask MLA (Algorithm 1 for one output, Algorithm 2 for
+// several) on the given native task vectors.
+func Tune(p *Problem, tasks [][]float64, options Options) (*Result, error) {
+	return core.Run(p, tasks, options)
+}
+
+// SampleTasks draws δ feasible task vectors from the problem's task space
+// (the paper's first sampling step, used when the user does not supply a
+// task list).
+func SampleTasks(p *Problem, delta int, seed int64) ([][]float64, error) {
+	if p.Tasks == nil {
+		return nil, fmt.Errorf("gptune: problem has no task space")
+	}
+	return sample.FeasibleLHS(p.Tasks, delta, rand.New(rand.NewSource(seed)))
+}
+
+// Tuner is the single-task autotuner interface shared by GPTune (δ=1) and
+// the baseline tuners.
+type Tuner = tuners.Tuner
+
+// NewTuner returns a tuner by name: "gptune" (single-task MLA),
+// "opentuner", "hpbandster", "surf", "random", or "grid" — mirroring the
+// paper's Section 6.1 interface for invoking other autotuners (it lists
+// OpenTuner, HpBandSter and ytopt; SuRF is the Section 5 random-forest
+// approach).
+func NewTuner(name string) (Tuner, error) {
+	switch name {
+	case "gptune", "gptune-singletask":
+		return singletask.Tuner{}, nil
+	case "opentuner":
+		return opentuner.Tuner{}, nil
+	case "hpbandster":
+		return hpbandster.Tuner{}, nil
+	case "surf":
+		return surf.Tuner{}, nil
+	case "random":
+		return tuners.Random{}, nil
+	case "grid":
+		return tuners.Grid{}, nil
+	}
+	return nil, fmt.Errorf("gptune: unknown tuner %q", name)
+}
+
+// TunerNames lists the invocable tuner names.
+func TunerNames() []string {
+	return []string{"gptune", "opentuner", "hpbandster", "surf", "random", "grid"}
+}
+
+// History is the persistent tuning-data archive (paper goal #3).
+type History = histdb.DB
+
+// HistoryRecord is one archived evaluation.
+type HistoryRecord = histdb.Record
+
+// LoadHistory reads an archive from disk (empty when missing).
+func LoadHistory(path string) (*History, error) { return histdb.Load(path) }
+
+// NewHistory returns an empty archive.
+func NewHistory() *History { return histdb.New() }
+
+// PriorSample is one pre-existing evaluation used to warm-start MLA (see
+// Options.Prior).
+type PriorSample = core.PriorSample
+
+// PriorFromHistory converts a problem's archived records into MLA prior
+// samples for the given tasks, enabling tuning that improves over time:
+//
+//	db, _ := gptune.LoadHistory("runs.json")
+//	opts.Prior = gptune.PriorFromHistory(db, problem.Name, tasks)
+func PriorFromHistory(db *History, problem string, tasks [][]float64) []PriorSample {
+	var out []PriorSample
+	for _, task := range tasks {
+		for _, r := range db.Query(problem, task) {
+			out = append(out, PriorSample{Task: r.Task, X: r.Config, Y: r.Outputs})
+		}
+	}
+	return out
+}
+
+// RecordResult archives every evaluation of an MLA result into db.
+func RecordResult(db *History, problem string, res *Result) {
+	for _, tr := range res.Tasks {
+		for j := range tr.X {
+			db.Append(histdb.Record{
+				Problem: problem,
+				Task:    tr.Task,
+				Config:  tr.X[j],
+				Outputs: tr.Y[j],
+			})
+		}
+	}
+}
+
+// Dataset is multitask training data for standalone surrogate modeling.
+type Dataset = gp.Dataset
+
+// Surrogate is a fitted multitask LCM model (Eqs. 1-6 of the paper),
+// usable directly for regression outside the tuning loop.
+type Surrogate = gp.LCM
+
+// SurrogateOptions configures standalone LCM fitting.
+type SurrogateOptions = gp.FitOptions
+
+// FitSurrogate fits the multitask LCM to a dataset — the paper's modeling
+// phase exposed as a standalone regression tool. Combine with
+// Surrogate.Predict and Surrogate.LeaveOneOut for model diagnostics.
+func FitSurrogate(data *Dataset, options SurrogateOptions) (*Surrogate, error) {
+	return gp.FitLCM(data, options)
+}

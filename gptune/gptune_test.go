@@ -1,0 +1,124 @@
+package gptune_test
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+
+	"repro/gptune"
+)
+
+func demoProblem() *gptune.Problem {
+	return &gptune.Problem{
+		Name:    "demo",
+		Tasks:   gptune.NewSpace(gptune.Real("t", 0, 1)),
+		Tuning:  gptune.NewSpace(gptune.Real("x", 0, 1)),
+		Outputs: gptune.Outputs("y"),
+		Objective: func(task, x []float64) ([]float64, error) {
+			d := x[0] - 0.4
+			return []float64{task[0] + d*d}, nil
+		},
+	}
+}
+
+func TestTuneEndToEnd(t *testing.T) {
+	res, err := gptune.Tune(demoProblem(), [][]float64{{0}, {0.5}}, gptune.Options{EpsTot: 12, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tasks) != 2 {
+		t.Fatalf("tasks = %d", len(res.Tasks))
+	}
+	for i, tr := range res.Tasks {
+		x, y := tr.Best()
+		if math.Abs(x[0]-0.4) > 0.2 {
+			t.Errorf("task %d: best x = %v, want near 0.4 (y=%v)", i, x[0], y[0])
+		}
+	}
+}
+
+func TestSampleTasks(t *testing.T) {
+	tasks, err := gptune.SampleTasks(demoProblem(), 5, 2)
+	if err != nil || len(tasks) != 5 {
+		t.Fatalf("SampleTasks: %v %v", tasks, err)
+	}
+	for _, task := range tasks {
+		if task[0] < 0 || task[0] > 1 {
+			t.Fatalf("task out of range: %v", task)
+		}
+	}
+}
+
+func TestNewTunerDispatch(t *testing.T) {
+	for _, name := range gptune.TunerNames() {
+		tn, err := gptune.NewTuner(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		tr, err := tn.Tune(demoProblem(), []float64{0}, 8, 3)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(tr.X) == 0 {
+			t.Fatalf("%s: no evaluations", name)
+		}
+	}
+	if _, err := gptune.NewTuner("bogus"); err == nil {
+		t.Fatalf("unknown tuner accepted")
+	}
+}
+
+func TestHistoryIntegration(t *testing.T) {
+	res, err := gptune.Tune(demoProblem(), [][]float64{{0}}, gptune.Options{EpsTot: 6, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := gptune.NewHistory()
+	gptune.RecordResult(db, "demo", res)
+	if db.Len() != 6 {
+		t.Fatalf("recorded %d evaluations, want 6", db.Len())
+	}
+	path := filepath.Join(t.TempDir(), "hist.json")
+	if err := db.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := gptune.LoadHistory(path)
+	if err != nil || loaded.Len() != 6 {
+		t.Fatalf("load: %v %d", err, loaded.Len())
+	}
+	best, ok := loaded.Best("demo", res.Tasks[0].Task)
+	if !ok {
+		t.Fatalf("no best record")
+	}
+	_, wantY := res.Tasks[0].Best()
+	if best.Outputs[0] != wantY[0] {
+		t.Fatalf("archived best %v != run best %v", best.Outputs[0], wantY[0])
+	}
+}
+
+func TestPriorFromHistory(t *testing.T) {
+	p := demoProblem()
+	res, err := gptune.Tune(p, [][]float64{{0}}, gptune.Options{EpsTot: 6, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := gptune.NewHistory()
+	gptune.RecordResult(db, "demo", res)
+
+	// Warm-start a second run from the archive.
+	prior := gptune.PriorFromHistory(db, "demo", [][]float64{{0}})
+	if len(prior) != 6 {
+		t.Fatalf("prior has %d samples, want 6", len(prior))
+	}
+	res2, err := gptune.Tune(p, [][]float64{{0}}, gptune.Options{EpsTot: 4, Seed: 6, Prior: prior})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2.Tasks[0].X) != 10 {
+		t.Fatalf("warm-started dataset has %d samples, want 10 (4 new + 6 prior)", len(res2.Tasks[0].X))
+	}
+	// Unmatched tasks produce no priors.
+	if got := gptune.PriorFromHistory(db, "demo", [][]float64{{0.77}}); len(got) != 0 {
+		t.Fatalf("unexpected priors for unseen task: %d", len(got))
+	}
+}

@@ -1,0 +1,144 @@
+// Package acq implements the acquisition functions of GPTune's search phase:
+// Expected Improvement (Section 3.1) maximized by PSO, and the
+// multi-objective utilities (Pareto dominance, non-dominated filtering,
+// hypervolume) that back the NSGA-II-based search of Section 3.2.
+package acq
+
+import (
+	"math"
+	"sort"
+)
+
+// normPDF is the standard normal density φ.
+func normPDF(z float64) float64 {
+	return math.Exp(-0.5*z*z) / math.Sqrt(2*math.Pi)
+}
+
+// normCDF is the standard normal distribution Φ.
+func normCDF(z float64) float64 {
+	return 0.5 * math.Erfc(-z/math.Sqrt2)
+}
+
+// ExpectedImprovement returns EI(x) for a minimization problem given the
+// posterior mean mu and variance at x and the incumbent best observation
+// yBest:
+//
+//	EI = (yBest - μ)·Φ(z) + σ·φ(z),  z = (yBest - μ)/σ.
+//
+// EI is non-negative and tends to 0 as σ → 0 at dominated points.
+func ExpectedImprovement(mu, variance, yBest float64) float64 {
+	if variance <= 0 {
+		if imp := yBest - mu; imp > 0 {
+			return imp
+		}
+		return 0
+	}
+	sigma := math.Sqrt(variance)
+	z := (yBest - mu) / sigma
+	ei := (yBest-mu)*normCDF(z) + sigma*normPDF(z)
+	if ei < 0 || math.IsNaN(ei) {
+		return 0
+	}
+	return ei
+}
+
+// LowerConfidenceBound returns μ - κ·σ, an alternative acquisition for
+// minimization (smaller is more promising).
+func LowerConfidenceBound(mu, variance, kappa float64) float64 {
+	if variance < 0 {
+		variance = 0
+	}
+	return mu - kappa*math.Sqrt(variance)
+}
+
+// ProbabilityOfImprovement returns P[f(x) < yBest].
+func ProbabilityOfImprovement(mu, variance, yBest float64) float64 {
+	if variance <= 0 {
+		if mu < yBest {
+			return 1
+		}
+		return 0
+	}
+	return normCDF((yBest - mu) / math.Sqrt(variance))
+}
+
+// Dominates reports Pareto dominance for minimization: a ≤ b componentwise
+// with at least one strict inequality.
+func Dominates(a, b []float64) bool {
+	strict := false
+	for i := range a {
+		if a[i] > b[i] {
+			return false
+		}
+		if a[i] < b[i] {
+			strict = true
+		}
+	}
+	return strict
+}
+
+// ParetoFilter returns the indices of the non-dominated points among objs
+// (each objs[i] is a γ-vector, minimized).
+func ParetoFilter(objs [][]float64) []int {
+	var front []int
+	for i := range objs {
+		dominated := false
+		for j := range objs {
+			if i != j && Dominates(objs[j], objs[i]) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			front = append(front, i)
+		}
+	}
+	return front
+}
+
+// Hypervolume computes the hypervolume indicator of a 2-D Pareto front with
+// respect to reference point ref (both objectives minimized; every point
+// must weakly dominate ref). Larger is better. Points worse than ref in any
+// coordinate contribute nothing.
+func Hypervolume(front [][]float64, ref []float64) float64 {
+	if len(ref) != 2 {
+		panic("acq: Hypervolume supports exactly 2 objectives")
+	}
+	// Keep points dominating ref, sort by f1 ascending, sweep.
+	var pts [][]float64
+	for _, p := range front {
+		if p[0] < ref[0] && p[1] < ref[1] {
+			pts = append(pts, p)
+		}
+	}
+	if len(pts) == 0 {
+		return 0
+	}
+	sort.Slice(pts, func(i, j int) bool {
+		if pts[i][0] != pts[j][0] {
+			return pts[i][0] < pts[j][0]
+		}
+		return pts[i][1] < pts[j][1]
+	})
+	hv := 0.0
+	prevF2 := ref[1]
+	for _, p := range pts {
+		if p[1] < prevF2 {
+			hv += (ref[0] - p[0]) * (prevF2 - p[1])
+			prevF2 = p[1]
+		}
+	}
+	return hv
+}
+
+// MultiObjectiveEI scalarizes per-objective expected improvements into a
+// single acquisition value by product (the "EI of the box" heuristic):
+// candidates improving several objectives at once score highest. yBest holds
+// the incumbent best value per objective.
+func MultiObjectiveEI(mu, variance, yBest []float64) float64 {
+	v := 1.0
+	for s := range mu {
+		v *= ExpectedImprovement(mu[s], variance[s], yBest[s])
+	}
+	return v
+}

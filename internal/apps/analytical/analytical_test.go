@@ -1,0 +1,95 @@
+package analytical
+
+import (
+	"math"
+	"testing"
+)
+
+func TestObjectiveKnownStructure(t *testing.T) {
+	// At x = 0 every sine term vanishes, so y = 1 for all t.
+	for _, tv := range []float64{0, 1, 5, 9.5} {
+		if y := Objective(tv, 0); math.Abs(y-1) > 1e-12 {
+			t.Fatalf("y(%v, 0) = %v, want 1", tv, y)
+		}
+	}
+	// The envelope bounds the function: |y - 1| ≤ 5·e^{-(x+1)^{t+1}}.
+	for _, tv := range []float64{0, 2, 7} {
+		for i := 0; i <= 100; i++ {
+			x := float64(i) / 100
+			env := 5 * math.Exp(-math.Pow(x+1, tv+1))
+			if math.Abs(Objective(tv, x)-1) > env+1e-9 {
+				t.Fatalf("envelope violated at t=%v x=%v", tv, x)
+			}
+		}
+	}
+}
+
+func TestTrueMinBelowPlateau(t *testing.T) {
+	for _, tv := range []float64{0, 0.5, 1} {
+		x, y := TrueMin(tv)
+		if y >= 1 {
+			t.Fatalf("t=%v: TrueMin %v not below plateau", tv, y)
+		}
+		if x < 0 || x > 1 {
+			t.Fatalf("minimizer %v out of range", x)
+		}
+		if got := Objective(tv, x); got != y {
+			t.Fatalf("reported minimum inconsistent: %v vs %v", got, y)
+		}
+	}
+}
+
+func TestProblemEvaluates(t *testing.T) {
+	p := Problem()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	y, err := p.Objective([]float64{1.5}, []float64{0.25})
+	if err != nil || len(y) != 1 {
+		t.Fatalf("objective failed: %v %v", y, err)
+	}
+	if y[0] != Objective(1.5, 0.25) {
+		t.Fatalf("problem objective disagrees with Objective")
+	}
+}
+
+func TestNoisyModelTracksObjective(t *testing.T) {
+	m := NoisyModel(0.1)
+	for i := 0; i < 200; i++ {
+		x := float64(i) / 200
+		y := Objective(3, x)
+		my := m.Eval([]float64{3}, []float64{x}, nil)[0]
+		if y != 0 && math.Abs(my/y-1) > 0.8 {
+			// |0.1·r| > 0.8 means |r| > 8: essentially impossible for a
+			// standard normal; would indicate broken hashing.
+			t.Fatalf("model ratio %v at x=%v implausible", my/y, x)
+		}
+	}
+	// Determinism: the model is a fixed function of x.
+	a := m.Eval([]float64{3}, []float64{0.123}, nil)[0]
+	b := m.Eval([]float64{3}, []float64{0.123}, nil)[0]
+	if a != b {
+		t.Fatalf("model not deterministic")
+	}
+	// And actually noisy: values at nearby x differ from the exact ratio.
+	r1 := m.Eval([]float64{0}, []float64{0.2}, nil)[0] / Objective(0, 0.2)
+	r2 := m.Eval([]float64{0}, []float64{0.3}, nil)[0] / Objective(0, 0.3)
+	if r1 == r2 {
+		t.Fatalf("model noise constant across x")
+	}
+}
+
+func TestHashNormalRoughlyStandard(t *testing.T) {
+	sum, sumSq := 0.0, 0.0
+	const n = 5000
+	for i := 0; i < n; i++ {
+		v := hashNormal(float64(i) / n)
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	sd := math.Sqrt(sumSq/n - mean*mean)
+	if math.Abs(mean) > 0.05 || math.Abs(sd-1) > 0.1 {
+		t.Fatalf("hashNormal mean %v sd %v", mean, sd)
+	}
+}

@@ -1,0 +1,163 @@
+package core
+
+import (
+	"context"
+	"math"
+	"testing"
+)
+
+func TestBatchEvalsBudgetAccounting(t *testing.T) {
+	p := analyticalProblem()
+	calls := 0
+	inner := p.Objective
+	p.Objective = func(task, x []float64) ([]float64, error) {
+		calls++
+		return inner(task, x)
+	}
+	res, err := Run(p, [][]float64{{0}}, Options{EpsTot: 10, Seed: 21, BatchEvals: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 5 initial + ceil(5/2)=3 iterations × 2 = 11 total evaluations.
+	if got := len(res.Tasks[0].X); got < 10 || got > 12 {
+		t.Fatalf("samples = %d, want ≈ 11", got)
+	}
+	if calls != len(res.Tasks[0].X) {
+		t.Fatalf("calls %d != samples %d", calls, len(res.Tasks[0].X))
+	}
+}
+
+func TestBatchEvalsSpreadOut(t *testing.T) {
+	// With BatchEvals=3 on a smooth objective, each iteration's batch must
+	// not collapse to (nearly) identical points.
+	p := analyticalProblem()
+	p.Objective = func(task, x []float64) ([]float64, error) {
+		d := x[0] - 0.5
+		return []float64{d * d}, nil
+	}
+	res, err := Run(p, [][]float64{{0}}, Options{EpsTot: 12, Seed: 22, BatchEvals: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := res.Tasks[0].X
+	// Look at the first BO batch (samples 6, 7, 8).
+	if len(xs) < 9 {
+		t.Fatalf("too few samples: %d", len(xs))
+	}
+	batch := xs[6:9]
+	minDist := math.Inf(1)
+	for i := 0; i < 3; i++ {
+		for j := i + 1; j < 3; j++ {
+			d := math.Abs(batch[i][0] - batch[j][0])
+			if d < minDist {
+				minDist = d
+			}
+		}
+	}
+	if minDist < 1e-6 {
+		t.Fatalf("batch collapsed: %v", batch)
+	}
+}
+
+func TestAcquisitionVariants(t *testing.T) {
+	for _, acqName := range []string{"ei", "lcb", "pi"} {
+		p := analyticalProblem()
+		p.Objective = func(task, x []float64) ([]float64, error) {
+			d := x[0] - 0.3
+			return []float64{d * d}, nil
+		}
+		res, err := Run(p, [][]float64{{0}}, Options{EpsTot: 16, Seed: 23, Acquisition: acqName})
+		if err != nil {
+			t.Fatalf("%s: %v", acqName, err)
+		}
+		x, y := res.Tasks[0].Best()
+		if y[0] > 0.02 {
+			t.Errorf("%s: best %v at %v (should approach 0.3)", acqName, y[0], x[0])
+		}
+	}
+}
+
+func TestPriorSeedingImprovesColdStart(t *testing.T) {
+	p := analyticalProblem()
+	p.Objective = func(task, x []float64) ([]float64, error) {
+		d := x[0] - 0.712
+		return []float64{d * d}, nil
+	}
+	// Prior: dense observations around the optimum from a "previous run".
+	var prior []PriorSample
+	for i := 0; i < 10; i++ {
+		x := 0.6 + 0.02*float64(i)
+		d := x - 0.712
+		prior = append(prior, PriorSample{Task: []float64{0}, X: []float64{x}, Y: []float64{d * d}})
+	}
+	res, err := Run(p, [][]float64{{0}}, Options{EpsTot: 6, Seed: 24, Prior: prior})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := res.Tasks[0]
+	// Budget: 6 evaluations + 10 prior samples in the dataset.
+	if len(tr.X) != 16 {
+		t.Fatalf("dataset has %d samples, want 16 (6 new + 10 prior)", len(tr.X))
+	}
+	_, y := tr.Best()
+	if y[0] > 0.01 {
+		t.Fatalf("prior-seeded run missed optimum: %v", y[0])
+	}
+}
+
+func TestPriorValidation(t *testing.T) {
+	p := analyticalProblem()
+	_, err := Run(p, [][]float64{{0}}, Options{EpsTot: 4, Seed: 25, Prior: []PriorSample{
+		{Task: []float64{0}, X: []float64{0.1, 0.9}, Y: []float64{1}}, // wrong dim
+	}})
+	if err == nil {
+		t.Fatalf("mismatched prior dimension accepted")
+	}
+	_, err = Run(p, [][]float64{{0}}, Options{EpsTot: 4, Seed: 25, Prior: []PriorSample{
+		{Task: []float64{0}, X: []float64{0.1}, Y: []float64{math.NaN()}},
+	}})
+	if err == nil {
+		t.Fatalf("NaN prior output accepted")
+	}
+	// Priors for unknown tasks are silently ignored.
+	res, err := Run(p, [][]float64{{0}}, Options{EpsTot: 4, Seed: 25, Prior: []PriorSample{
+		{Task: []float64{99}, X: []float64{0.1}, Y: []float64{1}},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tasks[0].X) != 4 {
+		t.Fatalf("unknown-task prior affected dataset: %d samples", len(res.Tasks[0].X))
+	}
+}
+
+func TestEqualVec(t *testing.T) {
+	if !equalVec([]float64{1, 2}, []float64{1, 2}) {
+		t.Fatalf("equal vectors reported unequal")
+	}
+	if equalVec([]float64{1}, []float64{1, 2}) || equalVec([]float64{1, 2}, []float64{1, 3}) {
+		t.Fatalf("unequal vectors reported equal")
+	}
+}
+
+func TestRunContextCancellation(t *testing.T) {
+	p := analyticalProblem()
+	evals := 0
+	inner := p.Objective
+	p.Objective = func(task, x []float64) ([]float64, error) {
+		evals++
+		return inner(task, x)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // cancel before the BO loop: only initial sampling happens
+	res, err := RunContext(ctx, p, [][]float64{{0}}, Options{EpsTot: 40, Seed: 30})
+	if err == nil {
+		t.Fatalf("cancelled run returned no error")
+	}
+	if res == nil || len(res.Tasks[0].X) != 20 {
+		t.Fatalf("partial result missing initial samples: %+v", res)
+	}
+	if evals != 20 {
+		t.Fatalf("evals = %d, want just the 20 initial samples", evals)
+	}
+}

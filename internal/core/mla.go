@@ -1,0 +1,634 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"repro/internal/acq"
+	"repro/internal/gp"
+	"repro/internal/mpx"
+	"repro/internal/opt"
+	"repro/internal/sample"
+)
+
+// Run executes MLA (Algorithm 1 for γ=1, Algorithm 2 for γ>1) on the given
+// native task parameter vectors. Each task receives Options.EpsTot objective
+// evaluations: half in the initial sampling phase and the rest chosen by
+// Bayesian optimization over the shared LCM surrogate.
+func Run(p *Problem, tasks [][]float64, options Options) (*Result, error) {
+	return RunContext(context.Background(), p, tasks, options)
+}
+
+// RunContext is Run with cooperative cancellation: the context is checked
+// between MLA iterations (a long-running objective evaluation in flight is
+// allowed to finish — the engine never abandons a worker mid-call). On
+// cancellation the samples gathered so far are returned along with the
+// context's error, so anytime performance is preserved.
+func RunContext(ctx context.Context, p *Problem, tasks [][]float64, options Options) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if len(tasks) == 0 {
+		return nil, errors.New("core: no tasks given")
+	}
+	options.defaults()
+	start := time.Now()
+
+	st := &state{
+		p:     p,
+		opts:  options,
+		tasks: tasks,
+		X:     make([][][]float64, len(tasks)),
+		Y:     make([][][]float64, len(tasks)),
+		done:  make([]int, len(tasks)),
+		rng:   rand.New(rand.NewSource(options.Seed)),
+	}
+	if p.Model != nil {
+		st.coeffs = append([]float64(nil), p.Model.Coeffs...)
+	}
+
+	if err := st.initialSampling(); err != nil {
+		return nil, err
+	}
+	if err := st.mergePriors(); err != nil {
+		return nil, err
+	}
+
+	gamma := p.Outputs.Dim()
+	for st.minDone() < options.EpsTot {
+		if err := ctx.Err(); err != nil {
+			res := st.partialResult()
+			res.Stats.Total = time.Since(start)
+			return res, err
+		}
+		if p.Model != nil && options.FitModelCoeffs && len(st.coeffs) > 0 {
+			t0 := time.Now()
+			st.fitModelCoeffs()
+			st.stats.ModelUpdate += time.Since(t0)
+		}
+		var err error
+		if gamma == 1 {
+			err = st.iterateSingle()
+		} else {
+			err = st.iterateMulti()
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	res := st.partialResult()
+	st.stats.Total = time.Since(start)
+	res.Stats = st.stats
+	return res, nil
+}
+
+// partialResult packages whatever has been observed so far.
+func (st *state) partialResult() *Result {
+	res := &Result{Tasks: make([]TaskResult, len(st.tasks)), Stats: st.stats}
+	for i := range st.tasks {
+		tr := TaskResult{Task: st.tasks[i], X: st.X[i], Y: st.Y[i]}
+		for j := range tr.Y {
+			if tr.Y[j][0] < tr.Y[tr.BestIdx][0] {
+				tr.BestIdx = j
+			}
+		}
+		res.Tasks[i] = tr
+	}
+	return res
+}
+
+// state carries one MLA run's mutable data.
+type state struct {
+	p      *Problem
+	opts   Options
+	tasks  [][]float64
+	X      [][][]float64 // [task][sample] native configs
+	Y      [][][]float64 // [task][sample] γ outputs
+	done   []int         // evaluations performed this run, per task (priors excluded)
+	coeffs []float64     // performance-model coefficients
+	stats  PhaseStats
+	rng    *rand.Rand
+}
+
+// minDone returns the minimum number of budgeted evaluations across tasks.
+func (st *state) minDone() int {
+	m := st.done[0]
+	for _, d := range st.done[1:] {
+		if d < m {
+			m = d
+		}
+	}
+	return m
+}
+
+// mergePriors injects Options.Prior samples whose task exactly matches one
+// of the run's tasks. They extend the dataset but not the budget counters.
+func (st *state) mergePriors() error {
+	for _, ps := range st.opts.Prior {
+		for i, task := range st.tasks {
+			if !equalVec(task, ps.Task) {
+				continue
+			}
+			if len(ps.X) != st.p.Tuning.Dim() {
+				return fmt.Errorf("core: prior sample has %d tuning values, want %d", len(ps.X), st.p.Tuning.Dim())
+			}
+			if err := st.p.checkOutputs(ps.Y); err != nil {
+				return fmt.Errorf("core: prior sample outputs: %w", err)
+			}
+			st.X[i] = append(st.X[i], append([]float64(nil), ps.X...))
+			st.Y[i] = append(st.Y[i], append([]float64(nil), ps.Y...))
+			break
+		}
+	}
+	return nil
+}
+
+func equalVec(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (st *state) minSamples() int {
+	m := len(st.X[0])
+	for _, xi := range st.X[1:] {
+		if len(xi) < m {
+			m = len(xi)
+		}
+	}
+	return m
+}
+
+// initialSampling implements Algorithm 1 line 1: ε_tot/2 feasible LHS
+// configurations per task, all evaluated (in parallel over Workers).
+func (st *state) initialSampling() error {
+	eps := int(math.Round(float64(st.opts.EpsTot) * st.opts.InitFraction))
+	if eps < 1 {
+		eps = 1
+	}
+	if eps >= st.opts.EpsTot {
+		eps = st.opts.EpsTot - 1
+	}
+	type job struct {
+		task int
+		x    []float64
+	}
+	var jobs []job
+	for i := range st.tasks {
+		pts, err := sample.FeasibleLHS(st.p.Tuning, eps, st.rng)
+		if err != nil {
+			return fmt.Errorf("core: initial sampling for task %d: %w", i, err)
+		}
+		for _, x := range pts {
+			jobs = append(jobs, job{task: i, x: x})
+		}
+	}
+	t0 := time.Now()
+	type outcome struct {
+		x []float64
+		y []float64
+	}
+	results, errs := mpx.Map(jobs, st.opts.Workers, func(j job) (outcome, error) {
+		x, y, err := st.evalWithRetry(j.task, j.x, rand.New(rand.NewSource(st.opts.Seed^hash2(j.task, len(jobs))))) //nolint
+		return outcome{x: x, y: y}, err
+	})
+	st.stats.Objective += time.Since(t0)
+	for k, j := range jobs {
+		if errs[k] != nil {
+			return fmt.Errorf("core: evaluating task %d: %w", j.task, errs[k])
+		}
+		st.X[j.task] = append(st.X[j.task], results[k].x)
+		st.Y[j.task] = append(st.Y[j.task], results[k].y)
+		st.done[j.task]++
+	}
+	return nil
+}
+
+func hash2(a, b int) int64 {
+	return int64(a)*1000003 + int64(b)*7919
+}
+
+// evalWithRetry runs the objective with the configured repeat count (taking
+// the componentwise minimum, the paper's noise mitigation) and retries with
+// fresh random feasible configurations when the objective errors or returns
+// non-finite values.
+func (st *state) evalWithRetry(task int, x []float64, rng *rand.Rand) ([]float64, []float64, error) {
+	t := st.tasks[task]
+	var lastErr error
+	for attempt := 0; attempt < 3; attempt++ {
+		y, err := st.evalRepeated(t, x)
+		if err == nil {
+			return x, y, nil
+		}
+		lastErr = err
+		pts, serr := sample.FeasibleUniform(st.p.Tuning, 1, rng)
+		if serr != nil {
+			return nil, nil, serr
+		}
+		x = pts[0]
+	}
+	return nil, nil, fmt.Errorf("core: objective failed after retries: %w", lastErr)
+}
+
+func (st *state) evalRepeated(t, x []float64) ([]float64, error) {
+	var best []float64
+	for r := 0; r < st.opts.Repeats; r++ {
+		y, err := st.p.Objective(t, x)
+		if err != nil {
+			return nil, err
+		}
+		if err := st.p.checkOutputs(y); err != nil {
+			return nil, err
+		}
+		if best == nil {
+			best = append([]float64(nil), y...)
+			continue
+		}
+		for s := range y {
+			if y[s] < best[s] {
+				best[s] = y[s]
+			}
+		}
+	}
+	st.stats.NumEvals += st.opts.Repeats
+	return best, nil
+}
+
+// featureScale holds the normalization of performance-model features used
+// during one modeling+search iteration.
+type featureScale struct {
+	lo, hi []float64
+	logT   []bool
+}
+
+func (fs *featureScale) apply(raw []float64) []float64 {
+	out := make([]float64, len(raw))
+	for d, v := range raw {
+		if fs.logT[d] {
+			v = math.Log(v)
+		}
+		if fs.hi[d] > fs.lo[d] {
+			out[d] = (v - fs.lo[d]) / (fs.hi[d] - fs.lo[d])
+		}
+		if out[d] < 0 {
+			out[d] = 0
+		} else if out[d] > 1 {
+			out[d] = 1
+		}
+	}
+	return out
+}
+
+// buildFeatureScale computes per-feature normalization over all current
+// samples. Positive features spanning >2 orders of magnitude are
+// log-transformed first.
+func (st *state) buildFeatureScale() *featureScale {
+	m := st.p.Model
+	if m == nil {
+		return nil
+	}
+	raws := make([][]float64, 0, 64)
+	for i := range st.tasks {
+		for _, x := range st.X[i] {
+			raws = append(raws, m.Eval(st.tasks[i], x, st.coeffs))
+		}
+	}
+	fs := &featureScale{
+		lo:   make([]float64, m.Dim),
+		hi:   make([]float64, m.Dim),
+		logT: make([]bool, m.Dim),
+	}
+	for d := 0; d < m.Dim; d++ {
+		lo, hi := math.Inf(1), math.Inf(-1)
+		allPos := true
+		for _, r := range raws {
+			v := r[d]
+			if v <= 0 {
+				allPos = false
+			}
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+		if allPos && lo > 0 && hi/lo > 100 {
+			fs.logT[d] = true
+			lo, hi = math.Log(lo), math.Log(hi)
+		}
+		fs.lo[d], fs.hi[d] = lo, hi
+	}
+	return fs
+}
+
+// modelPoint maps a native configuration to the (possibly enriched) LCM
+// input: normalized tuning parameters plus normalized model features.
+func (st *state) modelPoint(task int, xNative []float64, fs *featureScale) []float64 {
+	u := st.p.Tuning.Normalize(xNative)
+	if fs == nil {
+		return u
+	}
+	feat := fs.apply(st.p.Model.Eval(st.tasks[task], xNative, st.coeffs))
+	return append(u, feat...)
+}
+
+// yTransform returns the observed objective s for all tasks, log-transformed
+// when requested and possible, plus the matching inverse-free "transform one
+// value" helper for incumbents.
+func (st *state) yTransform(s int) (tv func(float64) float64) {
+	if !st.opts.LogY {
+		return func(v float64) float64 { return v }
+	}
+	for i := range st.Y {
+		for _, y := range st.Y[i] {
+			if y[s] <= 0 {
+				return func(v float64) float64 { return v }
+			}
+		}
+	}
+	return math.Log
+}
+
+// buildDataset assembles the gp.Dataset for objective s.
+func (st *state) buildDataset(s int, fs *featureScale) (*gp.Dataset, func(float64) float64) {
+	dim := st.p.Tuning.Dim()
+	if fs != nil {
+		dim += st.p.Model.Dim
+	}
+	tv := st.yTransform(s)
+	data := &gp.Dataset{
+		Dim: dim,
+		X:   make([][][]float64, len(st.tasks)),
+		Y:   make([][]float64, len(st.tasks)),
+	}
+	for i := range st.tasks {
+		for j, x := range st.X[i] {
+			data.X[i] = append(data.X[i], st.modelPoint(i, x, fs))
+			data.Y[i] = append(data.Y[i], tv(st.Y[i][j][s]))
+		}
+	}
+	return data, tv
+}
+
+// fitModelCoeffs implements the Section 3.3 performance model update phase.
+func (st *state) fitModelCoeffs() {
+	m := st.p.Model
+	var tasks, xs [][]float64
+	var ys []float64
+	for i := range st.tasks {
+		for j, x := range st.X[i] {
+			tasks = append(tasks, st.tasks[i])
+			xs = append(xs, x)
+			ys = append(ys, st.Y[i][j][0])
+		}
+	}
+	if m.FitCoeffs != nil {
+		st.coeffs = m.FitCoeffs(tasks, xs, ys, st.coeffs)
+		return
+	}
+	st.coeffs = defaultFitCoeffs(m, tasks, xs, ys, st.coeffs, st.rng)
+}
+
+// defaultFitCoeffs least-squares-fits the model's first output against the
+// observed first objective by searching multiplicative corrections of the
+// current coefficients with Nelder–Mead (log-space box of ±e³ per
+// coefficient).
+func defaultFitCoeffs(m *PerfModel, tasks, xs [][]float64, ys []float64, current []float64, rng *rand.Rand) []float64 {
+	n := len(current)
+	if n == 0 || len(ys) == 0 {
+		return current
+	}
+	base := make([]float64, n)
+	for i, c := range current {
+		base[i] = math.Max(math.Abs(c), 1e-12)
+	}
+	useLog := true
+	for _, y := range ys {
+		if y <= 0 {
+			useLog = false
+			break
+		}
+	}
+	decode := func(u []float64) []float64 {
+		c := make([]float64, n)
+		for i := range c {
+			c[i] = base[i] * math.Exp(6*(u[i]-0.5))
+		}
+		return c
+	}
+	loss := func(u []float64) float64 {
+		c := decode(u)
+		sse := 0.0
+		for k := range ys {
+			pred := m.Eval(tasks[k], xs[k], c)[0]
+			if useLog && pred > 0 {
+				d := math.Log(pred) - math.Log(ys[k])
+				sse += d * d
+			} else {
+				d := pred - ys[k]
+				sse += d * d
+			}
+		}
+		if math.IsNaN(sse) {
+			return math.Inf(1)
+		}
+		return sse
+	}
+	start := make([]float64, n)
+	for i := range start {
+		start[i] = 0.5
+	}
+	res := opt.NelderMead(loss, n, opt.NelderMeadParams{MaxEvals: 200 * n, Start: start}, rng)
+	return decode(res.X)
+}
+
+// iterateSingle performs one Algorithm 1 iteration: modeling phase (fit the
+// joint LCM on all data) then search phase (per-task EI maximization by PSO)
+// then one evaluation per task.
+func (st *state) iterateSingle() error {
+	fs := st.buildFeatureScale()
+
+	t0 := time.Now()
+	data, tv := st.buildDataset(0, fs)
+	model, err := gp.FitLCM(data, gp.FitOptions{
+		Q:         st.opts.Q,
+		NumStarts: st.opts.NumStarts,
+		Workers:   st.opts.Workers,
+		MaxIter:   st.opts.ModelMaxIter,
+		Seed:      st.opts.Seed + int64(st.minSamples()),
+	})
+	st.stats.Modeling += time.Since(t0)
+	if err != nil {
+		return fmt.Errorf("core: modeling phase: %w", err)
+	}
+
+	// Search phase: per task, maximize the acquisition over the feasible
+	// tuning space (BatchEvals configurations per task, spread by distance
+	// penalization).
+	t1 := time.Now()
+	newX := make([][][]float64, len(st.tasks))
+	mpx.ParallelFor(len(st.tasks), st.opts.Workers, func(i int) {
+		newX[i] = st.searchBatch(i, model, tv, fs)
+	})
+	st.stats.Search += time.Since(t1)
+
+	// Evaluate the new configurations concurrently (Section 4.2).
+	t2 := time.Now()
+	type job struct{ task, slot int }
+	var jobs []job
+	for i := range newX {
+		for b := range newX[i] {
+			jobs = append(jobs, job{task: i, slot: b})
+		}
+	}
+	type outcome struct {
+		x, y []float64
+	}
+	results, errs := mpx.Map(jobs, st.opts.Workers, func(j job) (outcome, error) {
+		rng := rand.New(rand.NewSource(st.opts.Seed ^ hash2(j.task*64+j.slot, st.minSamples())))
+		x, y, err := st.evalWithRetry(j.task, newX[j.task][j.slot], rng)
+		return outcome{x: x, y: y}, err
+	})
+	st.stats.Objective += time.Since(t2)
+	for k, j := range jobs {
+		if errs[k] != nil {
+			return errs[k]
+		}
+		st.X[j.task] = append(st.X[j.task], results[k].x)
+		st.Y[j.task] = append(st.Y[j.task], results[k].y)
+		st.done[j.task]++
+	}
+	return nil
+}
+
+// acquisition converts a posterior prediction into a score to *minimize*.
+func (st *state) acquisition(mu, variance, yBest float64) float64 {
+	switch st.opts.Acquisition {
+	case "lcb":
+		return acq.LowerConfidenceBound(mu, variance, st.opts.LCBKappa)
+	case "pi":
+		return -acq.ProbabilityOfImprovement(mu, variance, yBest)
+	default:
+		return -acq.ExpectedImprovement(mu, variance, yBest)
+	}
+}
+
+// searchBatch returns BatchEvals configurations for task i. The first
+// maximizes the raw acquisition; subsequent ones maximize the acquisition
+// damped near already-chosen points so the batch spreads out.
+func (st *state) searchBatch(i int, model *gp.LCM, tv func(float64) float64, fs *featureScale) [][]float64 {
+	k := st.opts.BatchEvals
+	var chosen [][]float64     // native
+	var chosenNorm [][]float64 // normalized, for the penalty
+	for b := 0; b < k; b++ {
+		x := st.searchOne(i, model, tv, fs, chosenNorm, int64(b))
+		if x == nil {
+			continue
+		}
+		chosen = append(chosen, x)
+		chosenNorm = append(chosenNorm, st.p.Tuning.Normalize(x))
+	}
+	return chosen
+}
+
+// searchOne maximizes the acquisition for task i with PSO, seeding the
+// swarm with the incumbent best configuration, damping near the avoid
+// points (batch spreading). It returns a native configuration, avoiding
+// exact duplicates of already-evaluated points.
+func (st *state) searchOne(i int, model *gp.LCM, tv func(float64) float64, fs *featureScale, avoid [][]float64, salt int64) []float64 {
+	yBest := math.Inf(1)
+	bestIdx := 0
+	for j, y := range st.Y[i] {
+		if v := tv(y[0]); v < yBest {
+			yBest = v
+			bestIdx = j
+		}
+	}
+	rng := rand.New(rand.NewSource(st.opts.Seed ^ hash2(7+i, st.minSamples()) ^ (salt << 17)))
+	const penaltyRadius = 0.15
+	neg := func(u []float64) float64 {
+		xNat := st.p.Tuning.Denormalize(u)
+		if !st.p.Tuning.Feasible(xNat) {
+			return math.Inf(1)
+		}
+		pt := st.modelPoint(i, xNat, fs)
+		mu, v := model.Predict(i, pt)
+		score := st.acquisition(mu, v, yBest)
+		if len(avoid) > 0 && score < 0 {
+			un := st.p.Tuning.Normalize(xNat)
+			damp := 1.0
+			for _, a := range avoid {
+				d := 0.0
+				for dIdx := range a {
+					diff := un[dIdx] - a[dIdx]
+					d += diff * diff
+				}
+				d = math.Sqrt(d) / penaltyRadius
+				if d < 1 {
+					damp *= d
+				}
+			}
+			score *= damp
+		}
+		return score
+	}
+	params := st.opts.Search
+	params.Seeds = append(params.Seeds, st.p.Tuning.Normalize(st.X[i][bestIdx]))
+	res := opt.PSO(neg, st.p.Tuning.Dim(), params, rng)
+	// Hybrid search: PSO explores the continuous relaxation well, but
+	// categorical/integer dimensions make the acquisition piecewise
+	// constant; a scored pool of random feasible candidates covers the
+	// discrete combinations PSO's rounding can miss. Keep whichever wins.
+	bestU := res.X
+	bestScore := res.F
+	for c := 0; c < 8*st.p.Tuning.Dim()+32; c++ {
+		u := make([]float64, st.p.Tuning.Dim())
+		for d := range u {
+			u[d] = rng.Float64()
+		}
+		if s := neg(u); s < bestScore {
+			bestScore = s
+			bestU = u
+		}
+	}
+	xNat := st.p.Tuning.Denormalize(bestU)
+	if !st.p.Tuning.Feasible(xNat) || st.isDuplicate(i, xNat) || containsConfig(avoidNative(st, avoid), xNat) {
+		if pts, err := sample.FeasibleUniform(st.p.Tuning, 1, rng); err == nil {
+			return pts[0]
+		}
+	}
+	return xNat
+}
+
+// avoidNative denormalizes the avoid list for duplicate checks.
+func avoidNative(st *state, avoid [][]float64) [][]float64 {
+	out := make([][]float64, len(avoid))
+	for i, a := range avoid {
+		out[i] = st.p.Tuning.Denormalize(a)
+	}
+	return out
+}
+
+func (st *state) isDuplicate(i int, x []float64) bool {
+	for _, prev := range st.X[i] {
+		same := true
+		for d := range x {
+			if prev[d] != x[d] {
+				same = false
+				break
+			}
+		}
+		if same {
+			return true
+		}
+	}
+	return false
+}

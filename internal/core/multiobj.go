@@ -1,0 +1,181 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/acq"
+	"repro/internal/gp"
+	"repro/internal/mpx"
+	"repro/internal/opt"
+	"repro/internal/sample"
+)
+
+// iterateMulti performs one Algorithm 2 iteration: the modeling phase builds
+// one LCM per objective, and the search phase runs NSGA-II per task on the
+// vector of per-objective Expected Improvements (Pareto dominance + crowding
+// distance, as in the paper) to propose k = MOBatch new configurations.
+func (st *state) iterateMulti() error {
+	gamma := st.p.Outputs.Dim()
+	fs := st.buildFeatureScale()
+
+	t0 := time.Now()
+	models := make([]*gp.LCM, gamma)
+	transforms := make([]func(float64) float64, gamma)
+	for s := 0; s < gamma; s++ {
+		data, tv := st.buildDataset(s, fs)
+		model, err := gp.FitLCM(data, gp.FitOptions{
+			Q:         st.opts.Q,
+			NumStarts: st.opts.NumStarts,
+			Workers:   st.opts.Workers,
+			MaxIter:   st.opts.ModelMaxIter,
+			Seed:      st.opts.Seed + int64(st.minSamples())*31 + int64(s),
+		})
+		if err != nil {
+			return fmt.Errorf("core: modeling phase (objective %d): %w", s, err)
+		}
+		models[s] = model
+		transforms[s] = tv
+	}
+	st.stats.Modeling += time.Since(t0)
+
+	t1 := time.Now()
+	newX := make([][][]float64, len(st.tasks)) // [task][batch] native configs
+	mpx.ParallelFor(len(st.tasks), st.opts.Workers, func(i int) {
+		newX[i] = st.searchMO(i, models, transforms, fs)
+	})
+	st.stats.Search += time.Since(t1)
+
+	t2 := time.Now()
+	type job struct{ task, slot int }
+	var jobs []job
+	for i := range newX {
+		for b := range newX[i] {
+			jobs = append(jobs, job{task: i, slot: b})
+		}
+	}
+	type outcome struct{ x, y []float64 }
+	results, errs := mpx.Map(jobs, st.opts.Workers, func(j job) (outcome, error) {
+		rng := rand.New(rand.NewSource(st.opts.Seed ^ hash2(j.task*64+j.slot, st.minSamples())))
+		x, y, err := st.evalWithRetry(j.task, newX[j.task][j.slot], rng)
+		return outcome{x: x, y: y}, err
+	})
+	st.stats.Objective += time.Since(t2)
+	for k, j := range jobs {
+		if errs[k] != nil {
+			return errs[k]
+		}
+		st.X[j.task] = append(st.X[j.task], results[k].x)
+		st.Y[j.task] = append(st.Y[j.task], results[k].y)
+		st.done[j.task]++
+	}
+	return nil
+}
+
+// searchMO returns up to MOBatch native configurations for task i chosen
+// from the NSGA-II front of the negated per-objective EI vector.
+func (st *state) searchMO(i int, models []*gp.LCM, transforms []func(float64) float64, fs *featureScale) [][]float64 {
+	gamma := len(models)
+	yBest := make([]float64, gamma)
+	for s := 0; s < gamma; s++ {
+		yBest[s] = math.Inf(1)
+		for _, y := range st.Y[i] {
+			if v := transforms[s](y[s]); v < yBest[s] {
+				yBest[s] = v
+			}
+		}
+	}
+	rng := rand.New(rand.NewSource(st.opts.Seed ^ hash2(13+i, st.minSamples())))
+	objective := func(u []float64) []float64 {
+		xNat := st.p.Tuning.Denormalize(u)
+		out := make([]float64, gamma)
+		if !st.p.Tuning.Feasible(xNat) {
+			for s := range out {
+				out[s] = math.Inf(1)
+			}
+			return out
+		}
+		pt := st.modelPoint(i, xNat, fs)
+		for s := 0; s < gamma; s++ {
+			mu, v := models[s].Predict(i, pt)
+			out[s] = -acq.ExpectedImprovement(mu, v, yBest[s])
+		}
+		return out
+	}
+	// Seed with the per-objective incumbents.
+	var seeds [][]float64
+	for s := 0; s < gamma; s++ {
+		best := 0
+		for j, y := range st.Y[i] {
+			if y[s] < st.Y[i][best][s] {
+				best = j
+			}
+		}
+		seeds = append(seeds, st.p.Tuning.Normalize(st.X[i][best]))
+	}
+	front := opt.NSGAII(objective, st.p.Tuning.Dim(), opt.NSGAIIParams{
+		PopSize:     st.opts.MOPopSize,
+		Generations: st.opts.MOGenerations,
+		Seeds:       seeds,
+	}, rng)
+
+	// Drop hopeless candidates (zero EI in every objective).
+	kept := front[:0]
+	for _, pr := range front {
+		useful := false
+		for _, v := range pr.F {
+			if v < 0 {
+				useful = true
+				break
+			}
+		}
+		if useful {
+			kept = append(kept, pr)
+		}
+	}
+	if len(kept) == 0 {
+		kept = front
+	}
+	// Spread the batch across the front (sorted by first acquisition).
+	sort.Slice(kept, func(a, b int) bool { return kept[a].F[0] < kept[b].F[0] })
+	k := st.opts.MOBatch
+	var out [][]float64
+	for b := 0; b < k; b++ {
+		var xNat []float64
+		if len(kept) > 0 {
+			idx := b * len(kept) / k
+			if idx >= len(kept) {
+				idx = len(kept) - 1
+			}
+			xNat = st.p.Tuning.Denormalize(kept[idx].X)
+		}
+		if xNat == nil || !st.p.Tuning.Feasible(xNat) || st.isDuplicate(i, xNat) || containsConfig(out, xNat) {
+			if pts, err := sample.FeasibleUniform(st.p.Tuning, 1, rng); err == nil {
+				xNat = pts[0]
+			} else {
+				continue
+			}
+		}
+		out = append(out, xNat)
+	}
+	return out
+}
+
+func containsConfig(list [][]float64, x []float64) bool {
+	for _, prev := range list {
+		same := true
+		for d := range x {
+			if prev[d] != x[d] {
+				same = false
+				break
+			}
+		}
+		if same {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,208 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/opt"
+)
+
+// Options configures an MLA run.
+type Options struct {
+	// EpsTot is ε_tot, the total number of function evaluations per task.
+	// The initial sampling phase uses ε_tot/2 of them (Section 3.1).
+	EpsTot int
+	// InitFraction overrides the fraction of ε_tot used for initial
+	// sampling (default 0.5, the paper's choice).
+	InitFraction float64
+	// Workers bounds the goroutine parallelism for objective evaluations,
+	// modeling-phase multi-starts / covariance factorization, and per-task
+	// search (Section 4). Default 1.
+	Workers int
+	// Repeats re-evaluates each configuration this many times and keeps the
+	// componentwise minimum (the paper runs PDGEQRF/PDSYEVX 3 times to cope
+	// with runtime noise). Default 1.
+	Repeats int
+	// LogY models log(y) instead of y when all observations are positive,
+	// which suits runtime-like objectives spanning orders of magnitude.
+	LogY bool
+
+	// Q is the number of LCM latent functions (default min(δ, 3)).
+	Q int
+	// NumStarts is n_start, the modeling phase's L-BFGS restarts (default 4).
+	NumStarts int
+	// ModelMaxIter caps L-BFGS iterations per restart (default 100).
+	ModelMaxIter int
+
+	// Search configures the per-task PSO maximizing the acquisition.
+	Search opt.PSOParams
+	// Acquisition selects the search-phase acquisition function: "ei"
+	// (Expected Improvement, the paper's choice and the default), "lcb"
+	// (lower confidence bound), or "pi" (probability of improvement).
+	Acquisition string
+	// LCBKappa is the exploration weight for Acquisition "lcb" (default 2).
+	LCBKappa float64
+	// BatchEvals asks the single-objective search phase for this many
+	// configurations per task per iteration, chosen by distance-penalized
+	// acquisition so they spread out; all are evaluated concurrently
+	// (the paper's Section 4.2 "multiple function evaluations
+	// concurrently"). Default 1.
+	BatchEvals int
+	// Prior seeds the dataset with already-evaluated samples (e.g. from the
+	// history database) before the first modeling phase. Samples whose Task
+	// does not exactly match one of the run's tasks are ignored. Prior
+	// samples do not count against EpsTot.
+	Prior []PriorSample
+	// MOBatch is k, the number of configurations per multi-objective search
+	// iteration (Algorithm 2; default 1).
+	MOBatch int
+	// MOGenerations and MOPopSize configure the NSGA-II search (defaults
+	// 40, 40).
+	MOGenerations int
+	MOPopSize     int
+
+	// Seed makes runs reproducible.
+	Seed int64
+
+	// FitModelCoeffs enables the Section 3.3 "performance model update
+	// phase": before each modeling phase, the model coefficients are
+	// re-fitted against observed data. Requires Problem.Model.
+	FitModelCoeffs bool
+}
+
+// PriorSample is one pre-existing evaluation used to warm-start MLA.
+type PriorSample struct {
+	Task []float64
+	X    []float64
+	Y    []float64 // γ outputs
+}
+
+func (o *Options) defaults() {
+	if o.Acquisition == "" {
+		o.Acquisition = "ei"
+	}
+	if o.LCBKappa <= 0 {
+		o.LCBKappa = 2
+	}
+	if o.BatchEvals <= 0 {
+		o.BatchEvals = 1
+	}
+	if o.EpsTot <= 1 {
+		o.EpsTot = 2
+	}
+	if o.InitFraction <= 0 || o.InitFraction >= 1 {
+		o.InitFraction = 0.5
+	}
+	if o.Workers <= 0 {
+		o.Workers = 1
+	}
+	if o.Repeats <= 0 {
+		o.Repeats = 1
+	}
+	if o.NumStarts <= 0 {
+		o.NumStarts = 4
+	}
+	if o.ModelMaxIter <= 0 {
+		o.ModelMaxIter = 100
+	}
+	if o.MOBatch <= 0 {
+		o.MOBatch = 1
+	}
+	if o.MOGenerations <= 0 {
+		o.MOGenerations = 40
+	}
+	if o.MOPopSize <= 0 {
+		o.MOPopSize = 40
+	}
+}
+
+// PhaseStats records wall time per MLA phase, matching the paper's Table 3
+// breakdown ("total, objective, modeling, search").
+type PhaseStats struct {
+	Objective   time.Duration // application / simulator evaluations
+	Modeling    time.Duration // LCM hyperparameter learning + factorization
+	Search      time.Duration // acquisition maximization
+	ModelUpdate time.Duration // Section 3.3 coefficient fitting
+	Total       time.Duration
+	NumEvals    int // objective evaluations performed (incl. repeats)
+}
+
+// Add accumulates other into s.
+func (s *PhaseStats) Add(other PhaseStats) {
+	s.Objective += other.Objective
+	s.Modeling += other.Modeling
+	s.Search += other.Search
+	s.ModelUpdate += other.ModelUpdate
+	s.Total += other.Total
+	s.NumEvals += other.NumEvals
+}
+
+// TaskResult holds everything observed for one task, in evaluation order
+// (so best-so-far "anytime performance" traces can be reconstructed, as
+// needed by the Table 4 stability metric).
+type TaskResult struct {
+	Task []float64   // native task parameters
+	X    [][]float64 // native configurations, in evaluation order
+	Y    [][]float64 // γ outputs per configuration
+
+	BestIdx int // index minimizing objective 0 (single-objective runs)
+}
+
+// Best returns the best configuration and outputs for objective 0.
+func (t *TaskResult) Best() (x []float64, y []float64) {
+	return t.X[t.BestIdx], t.Y[t.BestIdx]
+}
+
+// BestTrace returns the best objective-0 value observed after each
+// evaluation: trace[j] = min(Y[0..j][0]).
+func (t *TaskResult) BestTrace() []float64 {
+	trace := make([]float64, len(t.Y))
+	best := t.Y[0][0]
+	for j, y := range t.Y {
+		if y[0] < best {
+			best = y[0]
+		}
+		trace[j] = best
+	}
+	return trace
+}
+
+// ParetoFront returns the indices of the non-dominated observations (for
+// multi-objective runs).
+func (t *TaskResult) ParetoFront() []int {
+	var front []int
+	for i := range t.Y {
+		dominated := false
+		for j := range t.Y {
+			if i == j {
+				continue
+			}
+			if dominatesMin(t.Y[j], t.Y[i]) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			front = append(front, i)
+		}
+	}
+	return front
+}
+
+func dominatesMin(a, b []float64) bool {
+	strict := false
+	for i := range a {
+		if a[i] > b[i] {
+			return false
+		}
+		if a[i] < b[i] {
+			strict = true
+		}
+	}
+	return strict
+}
+
+// Result is the outcome of an MLA run across all δ tasks.
+type Result struct {
+	Tasks []TaskResult
+	Stats PhaseStats
+}

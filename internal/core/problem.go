@@ -1,0 +1,86 @@
+// Package core implements GPTune's Multitask Learning Autotuning engine:
+// Algorithm 1 (Bayesian-optimization-based single-objective MLA), Algorithm 2
+// (its multi-objective extension), and the incorporation of coarse
+// performance models from Section 3.3. The engine records per-phase wall
+// times (sampling/objective, modeling, search) so the paper's Table 3
+// breakdowns and Fig. 3 scaling study can be regenerated.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/space"
+)
+
+// Objective evaluates the application at native task parameters t and native
+// tuning configuration x, returning the γ output metrics (all minimized).
+// For real HPC codes this launches the application (paper Section 4.2); in
+// this reproduction it calls an application simulator.
+type Objective func(task, x []float64) ([]float64, error)
+
+// PerfModel is a coarse analytical performance model ỹ(t, x) with its own
+// tunable coefficients (Section 3.3). Model outputs are appended to the
+// tuning-parameter vector as extra kernel features, enriching the LCM input
+// space from β to β+γ̃ dimensions, and the coefficients can be re-fitted
+// from observed samples before each modeling phase ("performance model
+// update phase").
+type PerfModel struct {
+	// Dim is γ̃, the number of model outputs per evaluation.
+	Dim int
+	// Coeffs holds the model's hyperparameters (e.g. t_flop, t_msg, t_vol in
+	// Eq. 7). May be empty for coefficient-free models.
+	Coeffs []float64
+	// Eval returns the γ̃ model outputs for native task t and native config x.
+	Eval func(task, x, coeffs []float64) []float64
+	// FitCoeffs, when non-nil, re-estimates Coeffs from observed samples
+	// (tasks[i], xs[i]) with measured first-objective values ys[i]. When nil
+	// and len(Coeffs) > 0, a built-in least-squares fit (Nelder–Mead on MSE
+	// against the first model output) is used.
+	FitCoeffs func(tasks, xs [][]float64, ys []float64, current []float64) []float64
+}
+
+// Problem is a complete GPTune tuning problem: the three spaces of Section 2
+// plus the black-box objective and an optional performance model.
+type Problem struct {
+	Name    string
+	Tasks   *space.Space       // IS: task parameter input space
+	Tuning  *space.Space       // PS: tuning parameter space
+	Outputs *space.OutputSpace // OS: output space (γ objectives)
+
+	Objective Objective
+	Model     *PerfModel // optional (Section 3.3)
+}
+
+// Validate reports structural problems in the problem definition.
+func (p *Problem) Validate() error {
+	if p.Tasks == nil || p.Tuning == nil {
+		return errors.New("core: problem needs task and tuning spaces")
+	}
+	if p.Outputs == nil || p.Outputs.Dim() == 0 {
+		return errors.New("core: problem needs at least one output")
+	}
+	if p.Objective == nil {
+		return errors.New("core: problem needs an objective")
+	}
+	if p.Model != nil {
+		if p.Model.Dim <= 0 || p.Model.Eval == nil {
+			return errors.New("core: performance model needs Dim > 0 and Eval")
+		}
+	}
+	return nil
+}
+
+// checkOutputs validates one objective evaluation result.
+func (p *Problem) checkOutputs(y []float64) error {
+	if len(y) != p.Outputs.Dim() {
+		return fmt.Errorf("core: objective returned %d outputs, want %d", len(y), p.Outputs.Dim())
+	}
+	for s, v := range y {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("core: objective output %d is non-finite (%v)", s, v)
+		}
+	}
+	return nil
+}

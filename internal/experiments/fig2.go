@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"io"
+
+	"repro/internal/apps/analytical"
+)
+
+// Fig2Curve is one task's objective curve y(t, ·) plus its global minimum.
+type Fig2Curve struct {
+	T    float64
+	X    []float64
+	Y    []float64
+	MinX float64
+	MinY float64
+}
+
+// Fig2 reproduces Fig. 2: the Eq. (11) objective for four task parameter
+// values, with the global minimum of each marked. The paper does not state
+// its four t values; we use a spread covering mild to highly oscillatory
+// regimes.
+func Fig2(points int) []Fig2Curve {
+	if points <= 1 {
+		points = 401
+	}
+	ts := []float64{0, 1, 2, 5}
+	curves := make([]Fig2Curve, 0, len(ts))
+	for _, t := range ts {
+		c := Fig2Curve{T: t}
+		for i := 0; i < points; i++ {
+			x := float64(i) / float64(points-1)
+			c.X = append(c.X, x)
+			c.Y = append(c.Y, analytical.Objective(t, x))
+		}
+		c.MinX, c.MinY = analytical.TrueMin(t)
+		curves = append(curves, c)
+	}
+	return curves
+}
+
+// PrintFig2 writes the per-task minima (the quantity the tuning experiments
+// chase) and a coarse curve table.
+func PrintFig2(w io.Writer, curves []Fig2Curve) {
+	fprintf(w, "Fig 2: analytical objective y(t,x) of Eq.(11), x in [0,1]\n")
+	for _, c := range curves {
+		fprintf(w, "  t=%-4g  global min y=%.6f at x=%.6f\n", c.T, c.MinY, c.MinX)
+	}
+	fprintf(w, "  curve samples (x, y per t):\n")
+	step := len(curves[0].X) / 10
+	if step < 1 {
+		step = 1
+	}
+	for i := 0; i < len(curves[0].X); i += step {
+		fprintf(w, "   x=%.2f", curves[0].X[i])
+		for _, c := range curves {
+			fprintf(w, "  y(t=%g)=%+.4f", c.T, c.Y[i])
+		}
+		fprintf(w, "\n")
+	}
+}

@@ -1,0 +1,139 @@
+package gp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// Brute-force LOO: refit is expensive, but for a FIXED set of
+// hyperparameters the LOO prediction equals the posterior at x_i computed
+// from the other n-1 points. We verify the closed form against that.
+func TestLeaveOneOutMatchesExplicit(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	data := syntheticDataset(rng, 2, 8, 1, 0.05)
+	model, err := FitLCM(data, FitOptions{Q: 1, NumStarts: 2, MaxIter: 60, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loo, err := model.LeaveOneOut()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(model.flatX)
+	if len(loo.Mean) != n || len(loo.Variance) != n || len(loo.StdResiduals) != n {
+		t.Fatalf("shape mismatch")
+	}
+
+	// Explicit check for a few indices: rebuild Σ without row/col i and
+	// predict.
+	sigma := model.covariance(model.flatX, model.taskOf)
+	for _, i := range []int{0, 5, n - 1} {
+		// Partition indices.
+		var rest []int
+		for j := 0; j < n; j++ {
+			if j != i {
+				rest = append(rest, j)
+			}
+		}
+		// K_rr, k_ri.
+		krr := make([][]float64, len(rest))
+		kri := make([]float64, len(rest))
+		yr := make([]float64, len(rest))
+		for a, ja := range rest {
+			krr[a] = make([]float64, len(rest))
+			for b, jb := range rest {
+				krr[a][b] = sigma.At(ja, jb)
+			}
+			// Diagonal regularization from the fit's jitter.
+			krr[a][a] += model.Jitter
+			kri[a] = sigma.At(ja, i)
+			yr[a] = model.yNorm[ja]
+		}
+		// Solve krr w = kri and krr v = yr by Gaussian elimination (small).
+		w := solveDense(krr, kri)
+		v := solveDense(krr, yr)
+		muStd := 0.0
+		varStd := sigma.At(i, i) + model.Jitter
+		for a := range rest {
+			muStd += kri[a] * v[a]
+			varStd -= kri[a] * w[a]
+		}
+		wantMu := muStd*model.yStd + model.yMean
+		wantVar := varStd * model.yStd * model.yStd
+		if math.Abs(loo.Mean[i]-wantMu) > 1e-5*(1+math.Abs(wantMu)) {
+			t.Errorf("i=%d: LOO mean %v, explicit %v", i, loo.Mean[i], wantMu)
+		}
+		if math.Abs(loo.Variance[i]-wantVar) > 1e-5*(1+wantVar) {
+			t.Errorf("i=%d: LOO var %v, explicit %v", i, loo.Variance[i], wantVar)
+		}
+	}
+	if loo.RMSE < 0 || math.IsNaN(loo.LogPseudoLikelihood) {
+		t.Fatalf("bad summary stats: %+v", loo)
+	}
+}
+
+// solveDense solves a small dense SPD system by Gaussian elimination with
+// partial pivoting (test helper).
+func solveDense(a [][]float64, b []float64) []float64 {
+	n := len(a)
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = append(append([]float64{}, a[i]...), b[i])
+	}
+	for col := 0; col < n; col++ {
+		p := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(m[r][col]) > math.Abs(m[p][col]) {
+				p = r
+			}
+		}
+		m[col], m[p] = m[p], m[col]
+		for r := col + 1; r < n; r++ {
+			f := m[r][col] / m[col][col]
+			for c := col; c <= n; c++ {
+				m[r][c] -= f * m[col][c]
+			}
+		}
+	}
+	x := make([]float64, n)
+	for r := n - 1; r >= 0; r-- {
+		s := m[r][n]
+		for c := r + 1; c < n; c++ {
+			s -= m[r][c] * x[c]
+		}
+		x[r] = s / m[r][r]
+	}
+	return x
+}
+
+func TestLeaveOneOutUnfitted(t *testing.T) {
+	var m LCM
+	if _, err := m.LeaveOneOut(); err == nil {
+		t.Fatalf("unfitted model accepted")
+	}
+}
+
+func TestLeaveOneOutResidualsCalibrated(t *testing.T) {
+	// On noise-free smooth data with plenty of samples, LOO residuals
+	// should be mostly within ±4.
+	rng := rand.New(rand.NewSource(3))
+	data := syntheticDataset(rng, 1, 30, 1, 0)
+	model, err := FitLCM(data, FitOptions{NumStarts: 3, MaxIter: 100, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loo, err := model.LeaveOneOut()
+	if err != nil {
+		t.Fatal(err)
+	}
+	outliers := 0
+	for _, r := range loo.StdResiduals {
+		if math.Abs(r) > 4 {
+			outliers++
+		}
+	}
+	if outliers > len(loo.StdResiduals)/5 {
+		t.Fatalf("%d/%d residuals beyond ±4 — badly calibrated", outliers, len(loo.StdResiduals))
+	}
+}

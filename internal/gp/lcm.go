@@ -1,0 +1,516 @@
+package gp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+
+	"repro/internal/la"
+	"repro/internal/opt"
+)
+
+// Dataset holds multitask training data: for each task i, the normalized
+// tuning-parameter samples X[i] (each of length Dim) and the observed scalar
+// outputs Y[i]. Tasks may have different sample counts (MLA grows them one
+// at a time).
+type Dataset struct {
+	Dim int
+	X   [][][]float64 // [task][sample][dim]
+	Y   [][]float64   // [task][sample]
+}
+
+// NumTasks returns δ.
+func (d *Dataset) NumTasks() int { return len(d.X) }
+
+// TotalSamples returns Σ_i ε_i.
+func (d *Dataset) TotalSamples() int {
+	n := 0
+	for _, xi := range d.X {
+		n += len(xi)
+	}
+	return n
+}
+
+// Validate reports structural problems (mismatched lengths, empty tasks,
+// non-finite observations).
+func (d *Dataset) Validate() error {
+	if len(d.X) == 0 {
+		return errors.New("gp: dataset has no tasks")
+	}
+	if len(d.X) != len(d.Y) {
+		return fmt.Errorf("gp: %d task sample sets vs %d output sets", len(d.X), len(d.Y))
+	}
+	for i := range d.X {
+		if len(d.X[i]) == 0 {
+			return fmt.Errorf("gp: task %d has no samples", i)
+		}
+		if len(d.X[i]) != len(d.Y[i]) {
+			return fmt.Errorf("gp: task %d: %d samples vs %d outputs", i, len(d.X[i]), len(d.Y[i]))
+		}
+		for j, x := range d.X[i] {
+			if len(x) != d.Dim {
+				return fmt.Errorf("gp: task %d sample %d has dim %d, want %d", i, j, len(x), d.Dim)
+			}
+			for _, v := range x {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					return fmt.Errorf("gp: task %d sample %d has non-finite coordinate", i, j)
+				}
+			}
+			if math.IsNaN(d.Y[i][j]) || math.IsInf(d.Y[i][j], 0) {
+				return fmt.Errorf("gp: task %d sample %d has non-finite output", i, j)
+			}
+		}
+	}
+	return nil
+}
+
+// LCM is a fitted Linear Coregionalization Model. The covariance between
+// sample (i, j) and (i', j') is Eq. (4):
+//
+//	Σ = Σ_q (a_iq·a_i'q + b_iq·δ_ii') k_q(x, x') + d_i·δ_ii'·δ_jj'
+//
+// with k_q the unit-variance Gaussian kernel of Eq. (3).
+type LCM struct {
+	Q        int         // number of latent functions (≤ δ)
+	NumTasks int         // δ
+	Dim      int         // β (plus performance-model features if enriched)
+	Ls       [][]float64 // lengthscales [q][dim]
+	A        [][]float64 // mixing coefficients [q][task]
+	B        [][]float64 // per-task diagonal boosts [q][task]
+	D        []float64   // per-task noise (regularization) [task]
+	LogLik   float64     // log marginal likelihood at the fitted state
+	Jitter   float64     // diagonal jitter applied during factorization
+
+	// Fitted prediction state.
+	flatX  [][]float64
+	taskOf []int
+	chol   *la.Matrix
+	alpha  []float64
+	yNorm  []float64 // standardized training outputs (for LOO diagnostics)
+	yMean  float64
+	yStd   float64
+}
+
+// FitOptions configures LCM hyperparameter learning (the paper's modeling
+// phase, Section 3.1 step 2 and Section 4.3).
+type FitOptions struct {
+	Q         int   // latent functions; default min(δ, 3)
+	NumStarts int   // L-BFGS random restarts n_start; default 4
+	Workers   int   // parallel restarts and factorization workers; default 1
+	MaxIter   int   // L-BFGS iterations per start; default 100
+	Seed      int64 // RNG seed for restarts
+	CholBlock int   // parallel Cholesky block size; default 64
+}
+
+func (o *FitOptions) defaults(numTasks int) {
+	if o.Q <= 0 {
+		o.Q = numTasks
+		if o.Q > 3 {
+			o.Q = 3
+		}
+	}
+	if o.Q > numTasks {
+		o.Q = numTasks
+	}
+	if o.NumStarts <= 0 {
+		o.NumStarts = 4
+	}
+	if o.Workers <= 0 {
+		o.Workers = 1
+	}
+	if o.MaxIter <= 0 {
+		o.MaxIter = 100
+	}
+	if o.CholBlock <= 0 {
+		o.CholBlock = 64
+	}
+}
+
+// hyperparameter vector layout (all in log space except A which is linear):
+//
+//	[ log l_{q,d} : q ∈ [0,Q), d ∈ [0,Dim) ]
+//	[ a_{q,i}     : q ∈ [0,Q), i ∈ [0,δ)   ]
+//	[ log b_{q,i} : q ∈ [0,Q), i ∈ [0,δ)   ]
+//	[ log d_i     : i ∈ [0,δ)              ]
+type hyperLayout struct {
+	q, dim, tasks int
+}
+
+func (h hyperLayout) total() int        { return h.q*h.dim + 2*h.q*h.tasks + h.tasks }
+func (h hyperLayout) lsAt(q, d int) int { return q*h.dim + d }
+func (h hyperLayout) aAt(q, i int) int  { return h.q*h.dim + q*h.tasks + i }
+func (h hyperLayout) bAt(q, i int) int  { return h.q*h.dim + h.q*h.tasks + q*h.tasks + i }
+func (h hyperLayout) dAt(i int) int     { return h.q*h.dim + 2*h.q*h.tasks + i }
+
+// FitLCM learns LCM hyperparameters by maximizing the log marginal
+// likelihood with NumStarts multi-start L-BFGS runs (distributed over
+// Workers goroutines, mirroring the paper's parallelism over random starts)
+// and returns the best fitted model.
+func FitLCM(data *Dataset, options FitOptions) (*LCM, error) {
+	if err := data.Validate(); err != nil {
+		return nil, err
+	}
+	numTasks := data.NumTasks()
+	options.defaults(numTasks)
+
+	// Flatten samples and standardize Y globally (the model's zero-mean
+	// prior then matches the data scale).
+	n := data.TotalSamples()
+	flatX := make([][]float64, 0, n)
+	taskOf := make([]int, 0, n)
+	flatY := make([]float64, 0, n)
+	for i := range data.X {
+		for j := range data.X[i] {
+			flatX = append(flatX, data.X[i][j])
+			taskOf = append(taskOf, i)
+			flatY = append(flatY, data.Y[i][j])
+		}
+	}
+	mean, std := meanStd(flatY)
+	yn := make([]float64, n)
+	for i, v := range flatY {
+		yn[i] = (v - mean) / std
+	}
+
+	layout := hyperLayout{q: options.Q, dim: data.Dim, tasks: numTasks}
+	eval := func(theta []float64, grad []float64) float64 {
+		ll, g, err := lcmLogLikGrad(theta, layout, flatX, taskOf, yn)
+		if err != nil {
+			// Indefinite covariance even after jitter: reject the region.
+			for i := range grad {
+				grad[i] = 0
+			}
+			return math.Inf(1)
+		}
+		for i := range grad {
+			grad[i] = -g[i]
+		}
+		return -ll
+	}
+
+	type fitResult struct {
+		theta []float64
+		ll    float64
+	}
+	results := make([]fitResult, options.NumStarts)
+	var wg sync.WaitGroup
+	starts := make(chan int, options.NumStarts)
+	for s := 0; s < options.NumStarts; s++ {
+		starts <- s
+	}
+	close(starts)
+	workers := options.Workers
+	if workers > options.NumStarts {
+		workers = options.NumStarts
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for s := range starts {
+				rng := rand.New(rand.NewSource(options.Seed + int64(s)*7919 + 1))
+				theta0 := randomInit(layout, rng)
+				res := opt.LBFGS(eval, theta0, opt.LBFGSParams{MaxIter: options.MaxIter})
+				results[s] = fitResult{theta: res.X, ll: -res.F}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	best := -1
+	for s := range results {
+		if results[s].theta == nil || math.IsNaN(results[s].ll) || math.IsInf(results[s].ll, 0) {
+			continue
+		}
+		if best < 0 || results[s].ll > results[best].ll {
+			best = s
+		}
+	}
+	if best < 0 {
+		return nil, errors.New("gp: all hyperparameter starts failed")
+	}
+
+	model := thetaToModel(results[best].theta, layout)
+	model.LogLik = results[best].ll
+	model.flatX = flatX
+	model.taskOf = taskOf
+	model.yMean = mean
+	model.yStd = std
+
+	// Final factorization for prediction, parallel per Section 4.3.
+	sigma := model.covariance(flatX, taskOf)
+	l, jit, err := parallelCholJitter(sigma, options.CholBlock, options.Workers)
+	if err != nil {
+		return nil, fmt.Errorf("gp: final covariance factorization: %w", err)
+	}
+	model.Jitter = jit
+	model.chol = l
+	model.alpha = la.SolveCholVec(l, yn)
+	model.yNorm = yn
+	return model, nil
+}
+
+func meanStd(y []float64) (mean, std float64) {
+	for _, v := range y {
+		mean += v
+	}
+	mean /= float64(len(y))
+	for _, v := range y {
+		std += (v - mean) * (v - mean)
+	}
+	std = math.Sqrt(std / float64(len(y)))
+	if std < 1e-12 {
+		std = 1
+	}
+	return mean, std
+}
+
+func randomInit(layout hyperLayout, rng *rand.Rand) []float64 {
+	theta := make([]float64, layout.total())
+	for q := 0; q < layout.q; q++ {
+		for d := 0; d < layout.dim; d++ {
+			// lengthscale ∈ ~[0.1, 1]
+			theta[layout.lsAt(q, d)] = math.Log(0.1 + 0.9*rng.Float64())
+		}
+		for i := 0; i < layout.tasks; i++ {
+			theta[layout.aAt(q, i)] = rng.NormFloat64()
+			theta[layout.bAt(q, i)] = math.Log(0.01 + 0.1*rng.Float64())
+		}
+	}
+	for i := 0; i < layout.tasks; i++ {
+		theta[layout.dAt(i)] = math.Log(1e-3 + 1e-2*rng.Float64())
+	}
+	return theta
+}
+
+func thetaToModel(theta []float64, layout hyperLayout) *LCM {
+	m := &LCM{
+		Q:        layout.q,
+		NumTasks: layout.tasks,
+		Dim:      layout.dim,
+		Ls:       make([][]float64, layout.q),
+		A:        make([][]float64, layout.q),
+		B:        make([][]float64, layout.q),
+		D:        make([]float64, layout.tasks),
+	}
+	for q := 0; q < layout.q; q++ {
+		m.Ls[q] = make([]float64, layout.dim)
+		m.A[q] = make([]float64, layout.tasks)
+		m.B[q] = make([]float64, layout.tasks)
+		for d := 0; d < layout.dim; d++ {
+			m.Ls[q][d] = math.Exp(theta[layout.lsAt(q, d)])
+		}
+		for i := 0; i < layout.tasks; i++ {
+			m.A[q][i] = theta[layout.aAt(q, i)]
+			m.B[q][i] = math.Exp(theta[layout.bAt(q, i)])
+		}
+	}
+	for i := 0; i < layout.tasks; i++ {
+		m.D[i] = math.Exp(theta[layout.dAt(i)])
+	}
+	return m
+}
+
+// covariance assembles the full Eq. (4) covariance matrix for the given
+// flattened samples.
+func (m *LCM) covariance(flatX [][]float64, taskOf []int) *la.Matrix {
+	n := len(flatX)
+	sigma := la.NewMatrix(n, n)
+	for r := 0; r < n; r++ {
+		for s := r; s < n; s++ {
+			v := 0.0
+			ti, tj := taskOf[r], taskOf[s]
+			for q := 0; q < m.Q; q++ {
+				coef := m.A[q][ti] * m.A[q][tj]
+				if ti == tj {
+					coef += m.B[q][ti]
+				}
+				if coef != 0 {
+					v += coef * rbf(flatX[r], flatX[s], m.Ls[q])
+				}
+			}
+			if r == s {
+				v += m.D[ti]
+			}
+			sigma.Set(r, s, v)
+			sigma.Set(s, r, v)
+		}
+	}
+	return sigma
+}
+
+// Predict returns the posterior mean and variance (Eqs. 5–6) of task i's
+// objective at normalized point x, in the original (de-standardized) units.
+func (m *LCM) Predict(task int, x []float64) (mean, variance float64) {
+	if m.chol == nil {
+		panic("gp: Predict on unfitted model")
+	}
+	n := len(m.flatX)
+	kstar := make([]float64, n)
+	for r := 0; r < n; r++ {
+		tr := m.taskOf[r]
+		v := 0.0
+		for q := 0; q < m.Q; q++ {
+			coef := m.A[q][task] * m.A[q][tr]
+			if task == tr {
+				coef += m.B[q][task]
+			}
+			if coef != 0 {
+				v += coef * rbf(x, m.flatX[r], m.Ls[q])
+			}
+		}
+		kstar[r] = v
+	}
+	mu := la.Dot(kstar, m.alpha)
+	// Prior variance at x: Σ_q (a² + b)·k(x,x)=1 + d.
+	prior := m.D[task]
+	for q := 0; q < m.Q; q++ {
+		prior += m.A[q][task]*m.A[q][task] + m.B[q][task]
+	}
+	v := la.CopyVec(kstar)
+	la.ForwardSubst(m.chol, v)
+	variance = prior - la.Dot(v, v)
+	if variance < 0 {
+		variance = 0
+	}
+	mean = mu*m.yStd + m.yMean
+	variance *= m.yStd * m.yStd
+	return mean, variance
+}
+
+// lcmLogLikGrad evaluates the log marginal likelihood and its gradient with
+// respect to the (partially log-transformed) hyperparameter vector.
+func lcmLogLikGrad(theta []float64, layout hyperLayout, flatX [][]float64, taskOf []int, yn []float64) (float64, []float64, error) {
+	m := thetaToModel(theta, layout)
+	n := len(flatX)
+
+	// Per-latent kernel matrices K_q (needed again in the gradient).
+	kq := make([]*la.Matrix, layout.q)
+	for q := range kq {
+		kq[q] = la.NewMatrix(n, n)
+		for r := 0; r < n; r++ {
+			for s := r; s < n; s++ {
+				v := rbf(flatX[r], flatX[s], m.Ls[q])
+				kq[q].Set(r, s, v)
+				kq[q].Set(s, r, v)
+			}
+		}
+	}
+	sigma := la.NewMatrix(n, n)
+	for r := 0; r < n; r++ {
+		for s := r; s < n; s++ {
+			v := 0.0
+			ti, tj := taskOf[r], taskOf[s]
+			for q := 0; q < layout.q; q++ {
+				coef := m.A[q][ti] * m.A[q][tj]
+				if ti == tj {
+					coef += m.B[q][ti]
+				}
+				v += coef * kq[q].At(r, s)
+			}
+			if r == s {
+				v += m.D[ti]
+			}
+			sigma.Set(r, s, v)
+			sigma.Set(s, r, v)
+		}
+	}
+
+	l, _, err := la.CholeskyJitter(sigma, 1e-10)
+	if err != nil {
+		return 0, nil, err
+	}
+	alpha := la.SolveCholVec(l, yn)
+	ll := -0.5*la.Dot(yn, alpha) - 0.5*la.LogDetFromChol(l) - 0.5*float64(n)*math.Log(2*math.Pi)
+
+	// M = ααᵀ - Σ⁻¹; dL/dθ_p = ½ Σ_rs M_rs (∂Σ/∂θ_p)_rs.
+	inv := la.CholInverse(l)
+	mm := la.NewMatrix(n, n)
+	for r := 0; r < n; r++ {
+		for s := 0; s < n; s++ {
+			mm.Set(r, s, alpha[r]*alpha[s]-inv.At(r, s))
+		}
+	}
+
+	grad := make([]float64, layout.total())
+	for q := 0; q < layout.q; q++ {
+		aq := m.A[q]
+		bq := m.B[q]
+		lsq := m.Ls[q]
+		// Precompute coefficient matrix entries on the fly.
+		for r := 0; r < n; r++ {
+			tr := taskOf[r]
+			for s := 0; s < n; s++ {
+				ts := taskOf[s]
+				mk := mm.At(r, s) * kq[q].At(r, s)
+				if mk == 0 {
+					continue
+				}
+				coef := aq[tr] * aq[ts]
+				if tr == ts {
+					coef += bq[tr]
+				}
+				// Lengthscales (log-space chain rule: ×1/l² instead of 1/l³·l).
+				if coef != 0 {
+					base := 0.5 * mk * coef
+					for d := 0; d < layout.dim; d++ {
+						diff2 := sqDiff(flatX[r], flatX[s], d)
+						if diff2 != 0 {
+							grad[layout.lsAt(q, d)] += base * diff2 / (lsq[d] * lsq[d])
+						}
+					}
+				}
+				// a_{m,q}: ∂Σ_rs/∂a_mq = δ(tr=m)·a_ts + δ(ts=m)·a_tr.
+				grad[layout.aAt(q, tr)] += 0.5 * mk * aq[ts]
+				grad[layout.aAt(q, ts)] += 0.5 * mk * aq[tr]
+				// b_{m,q} (log-space: ×b).
+				if tr == ts {
+					grad[layout.bAt(q, tr)] += 0.5 * mk * bq[tr]
+				}
+			}
+		}
+	}
+	// d_i (log-space: ×d).
+	for r := 0; r < n; r++ {
+		grad[layout.dAt(taskOf[r])] += 0.5 * mm.At(r, r) * m.D[taskOf[r]]
+	}
+	return ll, grad, nil
+}
+
+// parallelCholJitter is CholeskyJitter backed by the parallel blocked
+// factorization.
+func parallelCholJitter(a *la.Matrix, block, workers int) (*la.Matrix, float64, error) {
+	n := a.Rows
+	meanDiag := 0.0
+	for i := 0; i < n; i++ {
+		meanDiag += math.Abs(a.At(i, i))
+	}
+	if n > 0 {
+		meanDiag /= float64(n)
+	}
+	if meanDiag == 0 {
+		meanDiag = 1
+	}
+	jitter := 0.0
+	for attempt := 0; attempt < 12; attempt++ {
+		work := a
+		if jitter > 0 {
+			work = a.Clone()
+			for i := 0; i < n; i++ {
+				work.Data[i*n+i] += jitter
+			}
+		}
+		l, err := la.ParallelCholesky(work, block, workers)
+		if err == nil {
+			return l, jitter, nil
+		}
+		if jitter == 0 {
+			jitter = 1e-10 * meanDiag
+		} else {
+			jitter *= 10
+		}
+	}
+	return nil, jitter, la.ErrNotPositiveDefinite
+}

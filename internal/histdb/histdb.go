@@ -1,0 +1,159 @@
+// Package histdb implements GPTune's history database (the paper's goal #3:
+// "support archiving and reusing tuning data from multiple executions to
+// allow tuning to improve over time"). Records are stored as JSON on disk;
+// prior records for a problem can seed a new MLA run's dataset, and
+// databases from separate runs can be merged.
+package histdb
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+)
+
+// Record is one completed function evaluation.
+type Record struct {
+	Problem string    `json:"problem"`
+	Task    []float64 `json:"task"`
+	Config  []float64 `json:"config"`
+	Outputs []float64 `json:"outputs"`
+	Stamp   time.Time `json:"stamp"`
+}
+
+// DB is an in-memory history database with JSON persistence.
+type DB struct {
+	mu      sync.Mutex
+	records []Record
+}
+
+// New returns an empty database.
+func New() *DB { return &DB{} }
+
+// Load reads a database from path. A missing file yields an empty database.
+func Load(path string) (*DB, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return New(), nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var records []Record
+	if err := json.Unmarshal(data, &records); err != nil {
+		return nil, fmt.Errorf("histdb: parsing %s: %w", path, err)
+	}
+	return &DB{records: records}, nil
+}
+
+// Save writes the database to path atomically (write + rename).
+func (db *DB) Save(path string) error {
+	db.mu.Lock()
+	data, err := json.MarshalIndent(db.records, "", " ")
+	db.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// Append adds one record.
+func (db *DB) Append(r Record) {
+	if r.Stamp.IsZero() {
+		r.Stamp = time.Now().UTC()
+	}
+	db.mu.Lock()
+	db.records = append(db.records, r)
+	db.mu.Unlock()
+}
+
+// Len returns the record count.
+func (db *DB) Len() int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return len(db.records)
+}
+
+// Query returns the records for a problem ("" matches every problem); when
+// task is non-nil, only records with exactly matching task parameters.
+func (db *DB) Query(problem string, task []float64) []Record {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	var out []Record
+	for _, r := range db.records {
+		if problem != "" && r.Problem != problem {
+			continue
+		}
+		if task != nil && !equalVec(r.Task, task) {
+			continue
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// Tasks returns the distinct task vectors recorded for a problem.
+func (db *DB) Tasks(problem string) [][]float64 {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	var out [][]float64
+	for _, r := range db.records {
+		if r.Problem != problem {
+			continue
+		}
+		dup := false
+		for _, t := range out {
+			if equalVec(t, r.Task) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, r.Task)
+		}
+	}
+	return out
+}
+
+// Merge copies every record of other into db.
+func (db *DB) Merge(other *DB) {
+	other.mu.Lock()
+	records := append([]Record(nil), other.records...)
+	other.mu.Unlock()
+	db.mu.Lock()
+	db.records = append(db.records, records...)
+	db.mu.Unlock()
+}
+
+// Best returns the record minimizing outputs[0] for the given problem/task,
+// or false when none exists.
+func (db *DB) Best(problem string, task []float64) (Record, bool) {
+	matches := db.Query(problem, task)
+	if len(matches) == 0 {
+		return Record{}, false
+	}
+	best := matches[0]
+	for _, r := range matches[1:] {
+		if len(r.Outputs) > 0 && len(best.Outputs) > 0 && r.Outputs[0] < best.Outputs[0] {
+			best = r
+		}
+	}
+	return best, true
+}
+
+func equalVec(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

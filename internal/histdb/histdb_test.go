@@ -1,0 +1,110 @@
+package histdb
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func TestAppendQueryBest(t *testing.T) {
+	db := New()
+	db.Append(Record{Problem: "qr", Task: []float64{100, 100}, Config: []float64{64}, Outputs: []float64{2.5}})
+	db.Append(Record{Problem: "qr", Task: []float64{100, 100}, Config: []float64{128}, Outputs: []float64{1.5}})
+	db.Append(Record{Problem: "qr", Task: []float64{200, 200}, Config: []float64{64}, Outputs: []float64{9}})
+	db.Append(Record{Problem: "ev", Task: []float64{100, 100}, Config: []float64{64}, Outputs: []float64{3}})
+
+	if db.Len() != 4 {
+		t.Fatalf("Len = %d", db.Len())
+	}
+	if got := db.Query("qr", nil); len(got) != 3 {
+		t.Fatalf("Query(qr) = %d records", len(got))
+	}
+	if got := db.Query("qr", []float64{100, 100}); len(got) != 2 {
+		t.Fatalf("Query(qr, task) = %d records", len(got))
+	}
+	best, ok := db.Best("qr", []float64{100, 100})
+	if !ok || best.Outputs[0] != 1.5 {
+		t.Fatalf("Best = %+v, %v", best, ok)
+	}
+	if _, ok := db.Best("nope", nil); ok {
+		t.Fatalf("Best on empty problem should report false")
+	}
+	tasks := db.Tasks("qr")
+	if len(tasks) != 2 {
+		t.Fatalf("Tasks = %v", tasks)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "hist.json")
+	db := New()
+	db.Append(Record{Problem: "p", Task: []float64{1}, Config: []float64{2, 3}, Outputs: []float64{4}})
+	if err := db.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != 1 {
+		t.Fatalf("loaded %d records", loaded.Len())
+	}
+	r := loaded.Query("p", nil)[0]
+	if r.Config[1] != 3 || r.Stamp.IsZero() {
+		t.Fatalf("record corrupted: %+v", r)
+	}
+}
+
+func TestLoadMissingFileIsEmpty(t *testing.T) {
+	db, err := Load(filepath.Join(t.TempDir(), "missing.json"))
+	if err != nil || db.Len() != 0 {
+		t.Fatalf("missing file: %v %d", err, db.Len())
+	}
+}
+
+func TestLoadCorruptFileErrors(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.json")
+	if err := writeFile(path, "{not json"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Fatalf("corrupt file accepted")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := New()
+	a.Append(Record{Problem: "p", Outputs: []float64{1}})
+	b := New()
+	b.Append(Record{Problem: "p", Outputs: []float64{2}})
+	b.Append(Record{Problem: "q", Outputs: []float64{3}})
+	a.Merge(b)
+	if a.Len() != 3 || b.Len() != 2 {
+		t.Fatalf("merge wrong: %d %d", a.Len(), b.Len())
+	}
+}
+
+func TestConcurrentAppend(t *testing.T) {
+	db := New()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				db.Append(Record{Problem: "p", Outputs: []float64{float64(i)}})
+			}
+		}()
+	}
+	wg.Wait()
+	if db.Len() != 800 {
+		t.Fatalf("Len = %d, want 800", db.Len())
+	}
+}
+
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}

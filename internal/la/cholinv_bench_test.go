@@ -1,0 +1,16 @@
+package la
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkCholInverse400(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	a := randomSPD(rng, 400)
+	l, _ := Cholesky(a)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		CholInverse(l)
+	}
+}

@@ -1,0 +1,350 @@
+package la
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randomSPD(rng *rand.Rand, n int) *Matrix {
+	// A = B·Bᵀ + n·I is SPD.
+	b := NewMatrix(n, n)
+	for i := range b.Data {
+		b.Data[i] = rng.NormFloat64()
+	}
+	a := MatMulTransB(b, b)
+	for i := 0; i < n; i++ {
+		a.Data[i*n+i] += float64(n)
+	}
+	return a
+}
+
+func TestMatrixBasics(t *testing.T) {
+	m := NewMatrixFrom(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	if m.At(1, 2) != 6 {
+		t.Fatalf("At(1,2) = %v, want 6", m.At(1, 2))
+	}
+	m.Set(0, 1, 9)
+	if m.At(0, 1) != 9 {
+		t.Fatalf("Set did not stick")
+	}
+	mt := m.T()
+	if mt.Rows != 3 || mt.Cols != 2 || mt.At(2, 1) != 6 || mt.At(1, 0) != 9 {
+		t.Fatalf("transpose wrong: %+v", mt)
+	}
+	c := m.Clone()
+	c.Set(0, 0, -1)
+	if m.At(0, 0) == -1 {
+		t.Fatalf("Clone shares storage")
+	}
+}
+
+func TestIdentityTrace(t *testing.T) {
+	id := Identity(5)
+	if id.Trace() != 5 {
+		t.Fatalf("trace(I5) = %v", id.Trace())
+	}
+}
+
+func TestMatMulAgainstHand(t *testing.T) {
+	a := NewMatrixFrom(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	b := NewMatrixFrom(3, 2, []float64{7, 8, 9, 10, 11, 12})
+	c := MatMul(a, b)
+	want := []float64{58, 64, 139, 154}
+	for i, v := range want {
+		if math.Abs(c.Data[i]-v) > 1e-12 {
+			t.Fatalf("MatMul[%d] = %v, want %v", i, c.Data[i], v)
+		}
+	}
+}
+
+func TestMatMulTransVariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := NewMatrix(4, 3)
+	b := NewMatrix(4, 5)
+	for i := range a.Data {
+		a.Data[i] = rng.NormFloat64()
+	}
+	for i := range b.Data {
+		b.Data[i] = rng.NormFloat64()
+	}
+	got := MatMulTransA(a, b)
+	want := MatMul(a.T(), b)
+	if MaxAbsDiff(got, want) > 1e-12 {
+		t.Fatalf("MatMulTransA mismatch: %v", MaxAbsDiff(got, want))
+	}
+	c := NewMatrix(5, 3)
+	for i := range c.Data {
+		c.Data[i] = rng.NormFloat64()
+	}
+	got2 := MatMulTransB(a, c)
+	want2 := MatMul(a, c.T())
+	if MaxAbsDiff(got2, want2) > 1e-12 {
+		t.Fatalf("MatMulTransB mismatch")
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	a := NewMatrixFrom(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	y := a.MulVec([]float64{1, 0, -1})
+	if y[0] != -2 || y[1] != -2 {
+		t.Fatalf("MulVec = %v", y)
+	}
+	yt := a.MulVecT([]float64{1, -1})
+	want := []float64{-3, -3, -3}
+	for i := range want {
+		if yt[i] != want[i] {
+			t.Fatalf("MulVecT = %v", yt)
+		}
+	}
+}
+
+// Property: Cholesky reconstructs the original SPD matrix.
+func TestCholeskyReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{1, 2, 3, 7, 20, 53} {
+		a := randomSPD(rng, n)
+		l, err := Cholesky(a)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		rec := MatMulTransB(l, l)
+		if d := MaxAbsDiff(a, rec); d > 1e-8*float64(n) {
+			t.Fatalf("n=%d: reconstruction error %v", n, d)
+		}
+		// L must be lower triangular.
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if l.At(i, j) != 0 {
+					t.Fatalf("upper entry (%d,%d) nonzero", i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	a := NewMatrixFrom(2, 2, []float64{1, 2, 2, 1}) // eigenvalues 3, -1
+	if _, err := Cholesky(a); err == nil {
+		t.Fatalf("expected ErrNotPositiveDefinite")
+	}
+}
+
+func TestCholeskyJitterRecovers(t *testing.T) {
+	// Singular PSD matrix: ones(3).
+	a := NewMatrix(3, 3)
+	for i := range a.Data {
+		a.Data[i] = 1
+	}
+	l, jit, err := CholeskyJitter(a, 1e-10)
+	if err != nil {
+		t.Fatalf("jittered factorization failed: %v", err)
+	}
+	if jit <= 0 {
+		t.Fatalf("expected positive jitter, got %v", jit)
+	}
+	if l.At(0, 0) <= 0 {
+		t.Fatalf("bad factor")
+	}
+}
+
+// Property: SolveCholVec returns x with A·x = b.
+func TestSolveCholVecResidual(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{1, 5, 17, 40} {
+		a := randomSPD(rng, n)
+		l, err := Cholesky(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		x := SolveCholVec(l, b)
+		r := a.MulVec(x)
+		Axpy(-1, b, r)
+		if Norm2(r) > 1e-8*Norm2(b)*float64(n) {
+			t.Fatalf("n=%d: residual %v", n, Norm2(r))
+		}
+	}
+}
+
+func TestSolveCholMat(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	n, m := 12, 4
+	a := randomSPD(rng, n)
+	l, _ := Cholesky(a)
+	b := NewMatrix(n, m)
+	for i := range b.Data {
+		b.Data[i] = rng.NormFloat64()
+	}
+	x := SolveCholMat(l, b)
+	rec := MatMul(a, x)
+	if MaxAbsDiff(rec, b) > 1e-8 {
+		t.Fatalf("SolveCholMat residual %v", MaxAbsDiff(rec, b))
+	}
+}
+
+func TestCholInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n := 15
+	a := randomSPD(rng, n)
+	l, _ := Cholesky(a)
+	inv := CholInverse(l)
+	prod := MatMul(a, inv)
+	if MaxAbsDiff(prod, Identity(n)) > 1e-8 {
+		t.Fatalf("A·A⁻¹ ≠ I: %v", MaxAbsDiff(prod, Identity(n)))
+	}
+}
+
+func TestLogDetFromChol(t *testing.T) {
+	// diag(4, 9): det = 36, logdet = log 36.
+	a := NewMatrixFrom(2, 2, []float64{4, 0, 0, 9})
+	l, _ := Cholesky(a)
+	if got := LogDetFromChol(l); math.Abs(got-math.Log(36)) > 1e-12 {
+		t.Fatalf("logdet = %v, want %v", got, math.Log(36))
+	}
+}
+
+// Property: parallel blocked Cholesky agrees with the serial one for random
+// SPD matrices across block sizes and worker counts.
+func TestParallelCholeskyMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for _, n := range []int{5, 31, 64, 97, 130} {
+		a := randomSPD(rng, n)
+		want, err := Cholesky(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, bs := range []int{8, 16, 33} {
+			for _, w := range []int{1, 2, 4, 8} {
+				got, err := ParallelCholesky(a, bs, w)
+				if err != nil {
+					t.Fatalf("n=%d bs=%d w=%d: %v", n, bs, w, err)
+				}
+				if d := MaxAbsDiff(got, want); d > 1e-9*float64(n) {
+					t.Fatalf("n=%d bs=%d w=%d: diff %v", n, bs, w, d)
+				}
+			}
+		}
+	}
+}
+
+func TestParallelCholeskyRejectsIndefinite(t *testing.T) {
+	n := 80
+	a := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		a.Data[i*n+i] = 1
+	}
+	a.Data[(n-1)*n+n-1] = -1
+	if _, err := ParallelCholesky(a, 16, 4); err == nil {
+		t.Fatalf("expected failure on indefinite matrix")
+	}
+}
+
+func TestNorm2OverflowSafe(t *testing.T) {
+	x := []float64{1e308, 1e308}
+	got := Norm2(x)
+	want := 1e308 * math.Sqrt2
+	if math.IsInf(got, 0) || math.Abs(got-want)/want > 1e-12 {
+		t.Fatalf("Norm2 = %v, want %v", got, want)
+	}
+	if Norm2(nil) != 0 {
+		t.Fatalf("Norm2(nil) != 0")
+	}
+}
+
+func TestVectorHelpers(t *testing.T) {
+	x := []float64{1, 2, 3}
+	y := []float64{4, 5, 6}
+	if Dot(x, y) != 32 {
+		t.Fatalf("Dot = %v", Dot(x, y))
+	}
+	Axpy(2, x, y)
+	if y[0] != 6 || y[2] != 12 {
+		t.Fatalf("Axpy = %v", y)
+	}
+	c := CopyVec(x)
+	c[0] = 99
+	if x[0] == 99 {
+		t.Fatalf("CopyVec shares storage")
+	}
+	ScaleVec(0.5, x)
+	if x[1] != 1 {
+		t.Fatalf("ScaleVec = %v", x)
+	}
+}
+
+// quick-check: symmetrize is idempotent and produces symmetric matrices.
+func TestSymmetrizeQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(10)
+		m := NewMatrix(n, n)
+		for i := range m.Data {
+			m.Data[i] = rng.NormFloat64()
+		}
+		m.Symmetrize()
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if m.At(i, j) != m.At(j, i) {
+					return false
+				}
+			}
+		}
+		before := m.Clone()
+		m.Symmetrize()
+		return MaxAbsDiff(before, m) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// quick-check: Cholesky solve round-trips random right-hand sides.
+func TestCholeskySolveQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(20)
+		a := randomSPD(rng, n)
+		l, err := Cholesky(a)
+		if err != nil {
+			return false
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		x := SolveCholVec(l, b)
+		r := a.MulVec(x)
+		Axpy(-1, b, r)
+		return Norm2(r) <= 1e-7*(1+Norm2(b))*float64(n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkCholeskySerial400(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	a := randomSPD(rng, 400)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Cholesky(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCholeskyParallel400(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	a := randomSPD(rng, 400)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParallelCholesky(a, 64, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

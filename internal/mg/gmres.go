@@ -1,0 +1,169 @@
+package mg
+
+import (
+	"errors"
+	"math"
+)
+
+// GMRESResult reports a solve's outcome.
+type GMRESResult struct {
+	Iterations int     // total Arnoldi steps (preconditioner applications)
+	Converged  bool    // relative residual reached Tol
+	Residual   float64 // final relative residual estimate
+}
+
+// GMRES solves A·x = b with restarted, right-preconditioned GMRES(m):
+// apply(v) computes A·v, precond(v) approximately solves A·z = v (identity
+// when nil). Returns the solution and the iteration statistics the hypre
+// simulator converts into modeled runtime.
+func GMRES(apply func([]float64) []float64, precond func([]float64) []float64,
+	b []float64, restart, maxIter int, tol float64) ([]float64, GMRESResult, error) {
+	n := len(b)
+	if n == 0 {
+		return nil, GMRESResult{}, errors.New("mg: empty system")
+	}
+	if restart < 1 {
+		restart = 30
+	}
+	if maxIter < 1 {
+		maxIter = 100
+	}
+	if tol <= 0 {
+		tol = 1e-8
+	}
+	if precond == nil {
+		precond = func(v []float64) []float64 {
+			out := make([]float64, len(v))
+			copy(out, v)
+			return out
+		}
+	}
+
+	x := make([]float64, n)
+	bnorm := norm(b)
+	if bnorm == 0 {
+		return x, GMRESResult{Converged: true}, nil
+	}
+
+	res := GMRESResult{Residual: 1}
+	total := 0
+	for total < maxIter {
+		// r = b - A·x
+		ax := apply(x)
+		r := make([]float64, n)
+		for i := range r {
+			r[i] = b[i] - ax[i]
+		}
+		beta := norm(r)
+		res.Residual = beta / bnorm
+		if res.Residual <= tol {
+			res.Converged = true
+			break
+		}
+
+		m := restart
+		if rem := maxIter - total; m > rem {
+			m = rem
+		}
+		v := make([][]float64, m+1)
+		z := make([][]float64, m) // preconditioned basis (right precond)
+		hmat := make([][]float64, m+1)
+		for i := range hmat {
+			hmat[i] = make([]float64, m)
+		}
+		v[0] = scale(r, 1/beta)
+		g := make([]float64, m+1)
+		g[0] = beta
+		cs := make([]float64, m)
+		sn := make([]float64, m)
+
+		k := 0
+		for ; k < m; k++ {
+			z[k] = precond(v[k])
+			w := apply(z[k])
+			// Modified Gram–Schmidt.
+			for i := 0; i <= k; i++ {
+				hmat[i][k] = dot(w, v[i])
+				axpy(-hmat[i][k], v[i], w)
+			}
+			hmat[k+1][k] = norm(w)
+			if hmat[k+1][k] > 1e-14 {
+				v[k+1] = scale(w, 1/hmat[k+1][k])
+			}
+			// Apply stored Givens rotations to the new column.
+			for i := 0; i < k; i++ {
+				t := cs[i]*hmat[i][k] + sn[i]*hmat[i+1][k]
+				hmat[i+1][k] = -sn[i]*hmat[i][k] + cs[i]*hmat[i+1][k]
+				hmat[i][k] = t
+			}
+			// New rotation to annihilate hmat[k+1][k].
+			denom := math.Hypot(hmat[k][k], hmat[k+1][k])
+			if denom == 0 {
+				cs[k], sn[k] = 1, 0
+			} else {
+				cs[k] = hmat[k][k] / denom
+				sn[k] = hmat[k+1][k] / denom
+			}
+			hmat[k][k] = cs[k]*hmat[k][k] + sn[k]*hmat[k+1][k]
+			hmat[k+1][k] = 0
+			g[k+1] = -sn[k] * g[k]
+			g[k] = cs[k] * g[k]
+
+			total++
+			res.Iterations = total
+			res.Residual = math.Abs(g[k+1]) / bnorm
+			if res.Residual <= tol || hmat[k+1][k] > 0 && v[k+1] == nil {
+				k++
+				break
+			}
+			if v[k+1] == nil {
+				// Happy breakdown: exact solution in the current subspace.
+				k++
+				break
+			}
+		}
+		// Solve the k×k triangular system and update x.
+		ymin := make([]float64, k)
+		for i := k - 1; i >= 0; i-- {
+			s := g[i]
+			for j := i + 1; j < k; j++ {
+				s -= hmat[i][j] * ymin[j]
+			}
+			if hmat[i][i] != 0 {
+				ymin[i] = s / hmat[i][i]
+			}
+		}
+		for j := 0; j < k; j++ {
+			axpy(ymin[j], z[j], x)
+		}
+		if res.Residual <= tol {
+			res.Converged = true
+			break
+		}
+	}
+	return x, res, nil
+}
+
+func dot(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+func norm(a []float64) float64 { return math.Sqrt(dot(a, a)) }
+
+func scale(a []float64, s float64) []float64 {
+	out := make([]float64, len(a))
+	for i := range a {
+		out[i] = a[i] * s
+	}
+	return out
+}
+
+func axpy(alpha float64, x, y []float64) {
+	for i := range x {
+		y[i] += alpha * x[i]
+	}
+}

@@ -1,0 +1,168 @@
+package opt
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/la"
+)
+
+// CMAESParams configures the (μ/μ_w, λ)-CMA-ES evolution strategy (Hansen's
+// covariance matrix adaptation), a strong general-purpose continuous
+// optimizer that complements the paper's model-free ensemble.
+type CMAESParams struct {
+	Lambda   int     // population size (default 4 + ⌊3 ln d⌋)
+	Sigma    float64 // initial step size (default 0.3)
+	MaxEvals int     // objective evaluation budget (default 100·dim·λ... capped; default 1000)
+	Start    []float64
+}
+
+// CMAES minimizes f over [0,1]^dim. Out-of-box samples are clipped before
+// evaluation (standard boundary handling for box constraints).
+func CMAES(f Objective, dim int, params CMAESParams, rng *rand.Rand) Result {
+	if params.Lambda <= 0 {
+		params.Lambda = 4 + int(3*math.Log(float64(dim)))
+	}
+	if params.Lambda < 4 {
+		params.Lambda = 4
+	}
+	if params.Sigma <= 0 {
+		params.Sigma = 0.3
+	}
+	if params.MaxEvals <= 0 {
+		params.MaxEvals = 1000
+	}
+	lambda := params.Lambda
+	mu := lambda / 2
+
+	// Recombination weights (log-rank).
+	weights := make([]float64, mu)
+	wsum := 0.0
+	for i := 0; i < mu; i++ {
+		weights[i] = math.Log(float64(lambda)/2+0.5) - math.Log(float64(i+1))
+		wsum += weights[i]
+	}
+	muEff := 0.0
+	for i := range weights {
+		weights[i] /= wsum
+		muEff += weights[i] * weights[i]
+	}
+	muEff = 1 / muEff
+
+	d := float64(dim)
+	// Strategy constants (Hansen's defaults).
+	cc := (4 + muEff/d) / (d + 4 + 2*muEff/d)
+	cs := (muEff + 2) / (d + muEff + 5)
+	c1 := 2 / ((d+1.3)*(d+1.3) + muEff)
+	cmu := math.Min(1-c1, 2*(muEff-2+1/muEff)/((d+2)*(d+2)+muEff))
+	damps := 1 + 2*math.Max(0, math.Sqrt((muEff-1)/(d+1))-1) + cs
+	chiN := math.Sqrt(d) * (1 - 1/(4*d) + 1/(21*d*d))
+
+	mean := params.Start
+	if mean == nil {
+		mean = randomPoint(dim, rng)
+	} else {
+		mean = clip01(append([]float64(nil), mean...))
+	}
+	sigma := params.Sigma
+	cov := la.Identity(dim)
+	pc := make([]float64, dim)
+	ps := make([]float64, dim)
+
+	best := Result{F: math.Inf(1)}
+	evals := 0
+
+	type cand struct {
+		x, z []float64
+		f    float64
+	}
+	for evals < params.MaxEvals {
+		// Eigen-free sampling via Cholesky of C (with jitter for safety).
+		l, _, err := la.CholeskyJitter(cov, 1e-12)
+		if err != nil {
+			break
+		}
+		pop := make([]cand, 0, lambda)
+		for k := 0; k < lambda && evals < params.MaxEvals; k++ {
+			z := make([]float64, dim)
+			for i := range z {
+				z[i] = rng.NormFloat64()
+			}
+			// x = mean + σ·L·z
+			lz := l.MulVec(z)
+			x := make([]float64, dim)
+			for i := range x {
+				x[i] = mean[i] + sigma*lz[i]
+			}
+			clip01(x)
+			fx := f(x)
+			evals++
+			pop = append(pop, cand{x: x, z: z, f: fx})
+			if fx < best.F {
+				best = Result{X: append([]float64(nil), x...), F: fx}
+			}
+		}
+		sort.Slice(pop, func(a, b int) bool { return pop[a].f < pop[b].f })
+		if len(pop) < mu {
+			break
+		}
+
+		// Recombine mean and evolution paths.
+		oldMean := append([]float64(nil), mean...)
+		zMean := make([]float64, dim)
+		for j := 0; j < dim; j++ {
+			m := 0.0
+			zm := 0.0
+			for i := 0; i < mu; i++ {
+				m += weights[i] * pop[i].x[j]
+				zm += weights[i] * pop[i].z[j]
+			}
+			mean[j] = m
+			zMean[j] = zm
+		}
+		// ps update (σ path): ps = (1-cs)·ps + sqrt(cs(2-cs)μeff)·z̄
+		csn := math.Sqrt(cs * (2 - cs) * muEff)
+		for j := 0; j < dim; j++ {
+			ps[j] = (1-cs)*ps[j] + csn*zMean[j]
+		}
+		psNorm := la.Norm2(ps)
+		// pc update (rank-one path).
+		hsig := 0.0
+		if psNorm/math.Sqrt(1-math.Pow(1-cs, 2*float64(evals)/float64(lambda)))/chiN < 1.4+2/(d+1) {
+			hsig = 1
+		}
+		ccn := math.Sqrt(cc * (2 - cc) * muEff)
+		for j := 0; j < dim; j++ {
+			step := (mean[j] - oldMean[j]) / sigma
+			pc[j] = (1-cc)*pc[j] + hsig*ccn*step
+		}
+		// Covariance update: rank-one + rank-μ (in z-coordinates mapped via L).
+		newCov := cov.Clone()
+		newCov.Scale(1 - c1 - cmu)
+		for a := 0; a < dim; a++ {
+			for b := 0; b < dim; b++ {
+				newCov.Data[a*dim+b] += c1 * pc[a] * pc[b]
+			}
+		}
+		for i := 0; i < mu; i++ {
+			// y_i = (x_i - oldMean)/σ
+			for a := 0; a < dim; a++ {
+				ya := (pop[i].x[a] - oldMean[a]) / sigma
+				for b := 0; b < dim; b++ {
+					yb := (pop[i].x[b] - oldMean[b]) / sigma
+					newCov.Data[a*dim+b] += cmu * weights[i] * ya * yb
+				}
+			}
+		}
+		newCov.Symmetrize()
+		cov = newCov
+		// Step-size adaptation.
+		sigma *= math.Exp((cs / damps) * (psNorm/chiN - 1))
+		if sigma < 1e-12 || math.IsNaN(sigma) || math.IsInf(sigma, 0) {
+			break
+		}
+	}
+	best.Evals = evals
+	return best
+}

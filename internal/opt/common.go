@@ -1,0 +1,51 @@
+// Package opt implements the optimization algorithms GPTune builds on:
+//
+//   - L-BFGS for maximizing the LCM log-likelihood (paper Section 3.1,
+//     modeling phase);
+//   - Particle Swarm Optimization for maximizing Expected Improvement
+//     (search phase);
+//   - NSGA-II for multi-objective search (Section 3.2);
+//   - the model-free techniques referenced in Section 5 (Nelder–Mead,
+//     differential evolution, simulated annealing, genetic algorithm, greedy
+//     hill climbing), which also form the ensemble of the OpenTuner-style
+//     baseline tuner.
+//
+// All box-constrained algorithms operate on the unit hypercube [0,1]^dim;
+// callers denormalize via a space.Space.
+package opt
+
+import "math/rand"
+
+// Objective is a scalar function to be minimized over [0,1]^dim.
+type Objective func(x []float64) float64
+
+// MultiObjective returns γ objective values to be minimized over [0,1]^dim.
+type MultiObjective func(x []float64) []float64
+
+// clip01 clamps x into [0,1] in place and returns it.
+func clip01(x []float64) []float64 {
+	for i, v := range x {
+		if v < 0 {
+			x[i] = 0
+		} else if v > 1 {
+			x[i] = 1
+		}
+	}
+	return x
+}
+
+// randomPoint draws a uniform point in [0,1]^dim.
+func randomPoint(dim int, rng *rand.Rand) []float64 {
+	x := make([]float64, dim)
+	for i := range x {
+		x[i] = rng.Float64()
+	}
+	return x
+}
+
+// Result is the outcome of a single-objective minimization.
+type Result struct {
+	X     []float64 // minimizer found
+	F     float64   // objective value at X
+	Evals int       // objective evaluations consumed
+}

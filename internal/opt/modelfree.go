@@ -1,0 +1,302 @@
+package opt
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// The remaining model-free optimizers of paper Section 5, also used as the
+// technique ensemble inside the OpenTuner-style baseline (Section 6.6).
+
+// RandomSearch evaluates maxEvals uniform points and returns the best.
+func RandomSearch(f Objective, dim, maxEvals int, rng *rand.Rand) Result {
+	if maxEvals <= 0 {
+		maxEvals = 100
+	}
+	best := Result{F: math.Inf(1)}
+	for i := 0; i < maxEvals; i++ {
+		x := randomPoint(dim, rng)
+		fx := f(x)
+		if fx < best.F {
+			best = Result{X: x, F: fx}
+		}
+	}
+	best.Evals = maxEvals
+	return best
+}
+
+// SAParams configures simulated annealing.
+type SAParams struct {
+	MaxEvals int     // default 200
+	T0       float64 // initial temperature (default 1)
+	Cooling  float64 // geometric cooling rate (default 0.95)
+	StepSize float64 // Gaussian proposal scale (default 0.1)
+	Start    []float64
+}
+
+// SimulatedAnnealing minimizes f over [0,1]^dim (Kirkpatrick et al. 1983).
+func SimulatedAnnealing(f Objective, dim int, params SAParams, rng *rand.Rand) Result {
+	if params.MaxEvals <= 0 {
+		params.MaxEvals = 200
+	}
+	if params.T0 <= 0 {
+		params.T0 = 1
+	}
+	if params.Cooling <= 0 || params.Cooling >= 1 {
+		params.Cooling = 0.95
+	}
+	if params.StepSize <= 0 {
+		params.StepSize = 0.1
+	}
+	x := params.Start
+	if x == nil {
+		x = randomPoint(dim, rng)
+	} else {
+		x = clip01(append([]float64(nil), x...))
+	}
+	fx := f(x)
+	best := Result{X: append([]float64(nil), x...), F: fx}
+	temp := params.T0
+	cand := make([]float64, dim)
+	for e := 1; e < params.MaxEvals; e++ {
+		for d := range cand {
+			cand[d] = x[d] + rng.NormFloat64()*params.StepSize
+		}
+		clip01(cand)
+		fc := f(cand)
+		if fc < fx || rng.Float64() < math.Exp((fx-fc)/math.Max(temp, 1e-300)) {
+			copy(x, cand)
+			fx = fc
+			if fx < best.F {
+				best.F = fx
+				copy(best.X, x)
+			}
+		}
+		temp *= params.Cooling
+	}
+	best.Evals = params.MaxEvals
+	return best
+}
+
+// HillClimbParams configures greedy hill climbing.
+type HillClimbParams struct {
+	MaxEvals int     // default 200
+	StepSize float64 // initial perturbation scale (default 0.1)
+	Start    []float64
+}
+
+// HillClimb greedily perturbs one coordinate at a time, shrinking the step
+// when no neighbor improves (the "local" family of Section 5; OpenTuner's
+// greedy mutation technique analogue).
+func HillClimb(f Objective, dim int, params HillClimbParams, rng *rand.Rand) Result {
+	if params.MaxEvals <= 0 {
+		params.MaxEvals = 200
+	}
+	if params.StepSize <= 0 {
+		params.StepSize = 0.1
+	}
+	x := params.Start
+	if x == nil {
+		x = randomPoint(dim, rng)
+	} else {
+		x = clip01(append([]float64(nil), x...))
+	}
+	fx := f(x)
+	evals := 1
+	step := params.StepSize
+	cand := make([]float64, dim)
+	for evals < params.MaxEvals && step > 1e-9 {
+		improved := false
+		order := rng.Perm(dim)
+		for _, d := range order {
+			if evals >= params.MaxEvals {
+				break
+			}
+			for _, sign := range []float64{1, -1} {
+				copy(cand, x)
+				cand[d] += sign * step
+				clip01(cand)
+				fc := f(cand)
+				evals++
+				if fc < fx {
+					copy(x, cand)
+					fx = fc
+					improved = true
+					break
+				}
+				if evals >= params.MaxEvals {
+					break
+				}
+			}
+		}
+		if !improved {
+			step *= 0.5
+		}
+	}
+	return Result{X: x, F: fx, Evals: evals}
+}
+
+// DEParams configures differential evolution.
+type DEParams struct {
+	PopSize  int     // default 10·dim, min 8
+	MaxEvals int     // default 300
+	F        float64 // differential weight (default 0.7)
+	CR       float64 // crossover rate (default 0.9)
+}
+
+// DifferentialEvolution minimizes f over [0,1]^dim using DE/rand/1/bin.
+func DifferentialEvolution(f Objective, dim int, params DEParams, rng *rand.Rand) Result {
+	if params.PopSize <= 0 {
+		params.PopSize = 10 * dim
+	}
+	if params.PopSize < 8 {
+		params.PopSize = 8
+	}
+	if params.MaxEvals <= 0 {
+		params.MaxEvals = 300
+	}
+	if params.F <= 0 {
+		params.F = 0.7
+	}
+	if params.CR <= 0 {
+		params.CR = 0.9
+	}
+	np := params.PopSize
+	pop := make([][]float64, np)
+	fit := make([]float64, np)
+	evals := 0
+	best := Result{F: math.Inf(1)}
+	for i := range pop {
+		pop[i] = randomPoint(dim, rng)
+		fit[i] = f(pop[i])
+		evals++
+		if fit[i] < best.F {
+			best = Result{X: append([]float64(nil), pop[i]...), F: fit[i]}
+		}
+	}
+	trial := make([]float64, dim)
+	for evals < params.MaxEvals {
+		for i := 0; i < np && evals < params.MaxEvals; i++ {
+			a, b, c := distinct3(np, i, rng)
+			jrand := rng.Intn(dim)
+			for d := 0; d < dim; d++ {
+				if d == jrand || rng.Float64() < params.CR {
+					trial[d] = pop[a][d] + params.F*(pop[b][d]-pop[c][d])
+				} else {
+					trial[d] = pop[i][d]
+				}
+			}
+			clip01(trial)
+			ft := f(trial)
+			evals++
+			if ft <= fit[i] {
+				copy(pop[i], trial)
+				fit[i] = ft
+				if ft < best.F {
+					best.F = ft
+					copy(best.X, trial)
+				}
+			}
+		}
+	}
+	best.Evals = evals
+	return best
+}
+
+func distinct3(n, exclude int, rng *rand.Rand) (int, int, int) {
+	pick := func(taken ...int) int {
+		for {
+			v := rng.Intn(n)
+			ok := v != exclude
+			for _, t := range taken {
+				if v == t {
+					ok = false
+				}
+			}
+			if ok || n <= 3 {
+				return v
+			}
+		}
+	}
+	a := pick()
+	b := pick(a)
+	c := pick(a, b)
+	return a, b, c
+}
+
+// GAParams configures the genetic algorithm.
+type GAParams struct {
+	PopSize    int     // default 20 (rounded up to even)
+	MaxEvals   int     // default 300
+	MutationP  float64 // per-gene mutation probability (default 1/dim)
+	CrossoverP float64 // default 0.9
+	Elite      int     // survivors per generation (default 2)
+}
+
+// GeneticAlgorithm minimizes f over [0,1]^dim using tournament selection,
+// uniform crossover and Gaussian mutation (Srinivas & Patnaik 1994).
+func GeneticAlgorithm(f Objective, dim int, params GAParams, rng *rand.Rand) Result {
+	if params.PopSize <= 0 {
+		params.PopSize = 20
+	}
+	if params.PopSize%2 == 1 {
+		params.PopSize++
+	}
+	if params.MaxEvals <= 0 {
+		params.MaxEvals = 300
+	}
+	if params.MutationP <= 0 {
+		params.MutationP = 1 / math.Max(1, float64(dim))
+	}
+	if params.CrossoverP <= 0 {
+		params.CrossoverP = 0.9
+	}
+	if params.Elite <= 0 {
+		params.Elite = 2
+	}
+	np := params.PopSize
+	type ind struct {
+		x []float64
+		f float64
+	}
+	pop := make([]ind, np)
+	evals := 0
+	for i := range pop {
+		pop[i].x = randomPoint(dim, rng)
+		pop[i].f = f(pop[i].x)
+		evals++
+	}
+	sort.Slice(pop, func(i, j int) bool { return pop[i].f < pop[j].f })
+	tourney := func() ind {
+		a, b := pop[rng.Intn(np)], pop[rng.Intn(np)]
+		if a.f < b.f {
+			return a
+		}
+		return b
+	}
+	for evals < params.MaxEvals {
+		next := make([]ind, 0, np)
+		next = append(next, pop[:params.Elite]...)
+		for len(next) < np && evals < params.MaxEvals {
+			p1, p2 := tourney(), tourney()
+			c := make([]float64, dim)
+			for d := 0; d < dim; d++ {
+				if rng.Float64() < params.CrossoverP && rng.Float64() < 0.5 {
+					c[d] = p2.x[d]
+				} else {
+					c[d] = p1.x[d]
+				}
+				if rng.Float64() < params.MutationP {
+					c[d] += rng.NormFloat64() * 0.1
+				}
+			}
+			clip01(c)
+			next = append(next, ind{x: c, f: f(c)})
+			evals++
+		}
+		pop = next
+		sort.Slice(pop, func(i, j int) bool { return pop[i].f < pop[j].f })
+	}
+	return Result{X: pop[0].x, F: pop[0].f, Evals: evals}
+}

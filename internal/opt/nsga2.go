@@ -1,0 +1,280 @@
+package opt
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// NSGAIIParams configures the NSGA-II multi-objective evolutionary algorithm
+// (Deb et al. 2002), which GPTune's multi-objective search phase relies on
+// (paper Section 3.2).
+type NSGAIIParams struct {
+	PopSize      int     // population size (default 40, rounded up to even)
+	Generations  int     // generations (default 50)
+	CrossoverEta float64 // SBX distribution index (default 15)
+	MutationEta  float64 // polynomial mutation index (default 20)
+	CrossoverP   float64 // crossover probability (default 0.9)
+	MutationP    float64 // per-gene mutation probability (default 1/dim)
+	Seeds        [][]float64
+}
+
+func (p *NSGAIIParams) defaults(dim int) {
+	if p.PopSize <= 0 {
+		p.PopSize = 40
+	}
+	if p.PopSize%2 == 1 {
+		p.PopSize++
+	}
+	if p.Generations <= 0 {
+		p.Generations = 50
+	}
+	if p.CrossoverEta <= 0 {
+		p.CrossoverEta = 15
+	}
+	if p.MutationEta <= 0 {
+		p.MutationEta = 20
+	}
+	if p.CrossoverP <= 0 {
+		p.CrossoverP = 0.9
+	}
+	if p.MutationP <= 0 {
+		p.MutationP = 1 / math.Max(1, float64(dim))
+	}
+}
+
+type individual struct {
+	x        []float64
+	f        []float64
+	rank     int
+	crowding float64
+}
+
+// ParetoResult is one non-dominated point found by NSGAII.
+type ParetoResult struct {
+	X []float64
+	F []float64
+}
+
+// NSGAII minimizes all components of f over [0,1]^dim and returns the final
+// population's first non-dominated front.
+func NSGAII(f MultiObjective, dim int, params NSGAIIParams, rng *rand.Rand) []ParetoResult {
+	params.defaults(dim)
+	n := params.PopSize
+
+	pop := make([]*individual, 0, n)
+	for i := 0; i < n; i++ {
+		var x []float64
+		if i < len(params.Seeds) {
+			x = clip01(append([]float64(nil), params.Seeds[i]...))
+		} else {
+			x = randomPoint(dim, rng)
+		}
+		pop = append(pop, &individual{x: x, f: f(x)})
+	}
+	rankAndCrowd(pop)
+
+	for gen := 0; gen < params.Generations; gen++ {
+		// Offspring via binary tournament + SBX + polynomial mutation.
+		offspring := make([]*individual, 0, n)
+		for len(offspring) < n {
+			p1 := tournament(pop, rng)
+			p2 := tournament(pop, rng)
+			c1, c2 := sbxCrossover(p1.x, p2.x, params, rng)
+			polyMutate(c1, params, rng)
+			polyMutate(c2, params, rng)
+			offspring = append(offspring, &individual{x: c1, f: f(c1)})
+			if len(offspring) < n {
+				offspring = append(offspring, &individual{x: c2, f: f(c2)})
+			}
+		}
+		// Environmental selection over parents ∪ offspring.
+		union := append(append([]*individual{}, pop...), offspring...)
+		rankAndCrowd(union)
+		sort.SliceStable(union, func(i, j int) bool { return crowdedLess(union[i], union[j]) })
+		pop = union[:n]
+		rankAndCrowd(pop)
+	}
+
+	var front []ParetoResult
+	for _, ind := range pop {
+		if ind.rank == 0 {
+			front = append(front, ParetoResult{
+				X: append([]float64(nil), ind.x...),
+				F: append([]float64(nil), ind.f...),
+			})
+		}
+	}
+	return dedupFront(front)
+}
+
+// dedupFront removes exact duplicates in objective space.
+func dedupFront(front []ParetoResult) []ParetoResult {
+	out := front[:0]
+	for _, p := range front {
+		dup := false
+		for _, q := range out {
+			same := true
+			for k := range p.F {
+				if p.F[k] != q.F[k] {
+					same = false
+					break
+				}
+			}
+			if same {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func tournament(pop []*individual, rng *rand.Rand) *individual {
+	a := pop[rng.Intn(len(pop))]
+	b := pop[rng.Intn(len(pop))]
+	if crowdedLess(a, b) {
+		return a
+	}
+	return b
+}
+
+// crowdedLess implements NSGA-II's crowded-comparison operator: lower rank
+// first; within a rank, larger crowding distance first.
+func crowdedLess(a, b *individual) bool {
+	if a.rank != b.rank {
+		return a.rank < b.rank
+	}
+	return a.crowding > b.crowding
+}
+
+// Dominates reports whether objective vector a Pareto-dominates b
+// (all components ≤ and at least one <), minimizing.
+func Dominates(a, b []float64) bool {
+	strictly := false
+	for i := range a {
+		if a[i] > b[i] {
+			return false
+		}
+		if a[i] < b[i] {
+			strictly = true
+		}
+	}
+	return strictly
+}
+
+// rankAndCrowd assigns non-domination ranks (fast non-dominated sort) and
+// per-front crowding distances.
+func rankAndCrowd(pop []*individual) {
+	n := len(pop)
+	dominatedBy := make([][]int, n) // indices i dominates
+	domCount := make([]int, n)      // how many dominate i
+	var current []int
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			if Dominates(pop[i].f, pop[j].f) {
+				dominatedBy[i] = append(dominatedBy[i], j)
+			} else if Dominates(pop[j].f, pop[i].f) {
+				domCount[i]++
+			}
+		}
+		if domCount[i] == 0 {
+			pop[i].rank = 0
+			current = append(current, i)
+		}
+	}
+	rank := 0
+	for len(current) > 0 {
+		crowdFront(pop, current)
+		var next []int
+		for _, i := range current {
+			for _, j := range dominatedBy[i] {
+				domCount[j]--
+				if domCount[j] == 0 {
+					pop[j].rank = rank + 1
+					next = append(next, j)
+				}
+			}
+		}
+		rank++
+		current = next
+	}
+}
+
+// crowdFront computes crowding distances for the individuals whose indices
+// are listed in front.
+func crowdFront(pop []*individual, front []int) {
+	m := len(front)
+	if m == 0 {
+		return
+	}
+	for _, i := range front {
+		pop[i].crowding = 0
+	}
+	nObj := len(pop[front[0]].f)
+	idx := append([]int(nil), front...)
+	for k := 0; k < nObj; k++ {
+		sort.Slice(idx, func(a, b int) bool { return pop[idx[a]].f[k] < pop[idx[b]].f[k] })
+		lo, hi := pop[idx[0]].f[k], pop[idx[m-1]].f[k]
+		pop[idx[0]].crowding = math.Inf(1)
+		pop[idx[m-1]].crowding = math.Inf(1)
+		if hi == lo {
+			continue
+		}
+		for a := 1; a < m-1; a++ {
+			pop[idx[a]].crowding += (pop[idx[a+1]].f[k] - pop[idx[a-1]].f[k]) / (hi - lo)
+		}
+	}
+}
+
+// sbxCrossover performs simulated binary crossover, returning two children.
+func sbxCrossover(p1, p2 []float64, params NSGAIIParams, rng *rand.Rand) ([]float64, []float64) {
+	dim := len(p1)
+	c1 := append([]float64(nil), p1...)
+	c2 := append([]float64(nil), p2...)
+	if rng.Float64() > params.CrossoverP {
+		return c1, c2
+	}
+	for d := 0; d < dim; d++ {
+		if rng.Float64() > 0.5 || math.Abs(p1[d]-p2[d]) < 1e-14 {
+			continue
+		}
+		u := rng.Float64()
+		var beta float64
+		if u <= 0.5 {
+			beta = math.Pow(2*u, 1/(params.CrossoverEta+1))
+		} else {
+			beta = math.Pow(1/(2*(1-u)), 1/(params.CrossoverEta+1))
+		}
+		x1, x2 := p1[d], p2[d]
+		c1[d] = 0.5 * ((1+beta)*x1 + (1-beta)*x2)
+		c2[d] = 0.5 * ((1-beta)*x1 + (1+beta)*x2)
+	}
+	clip01(c1)
+	clip01(c2)
+	return c1, c2
+}
+
+// polyMutate applies polynomial mutation in place.
+func polyMutate(x []float64, params NSGAIIParams, rng *rand.Rand) {
+	for d := range x {
+		if rng.Float64() > params.MutationP {
+			continue
+		}
+		u := rng.Float64()
+		var delta float64
+		if u < 0.5 {
+			delta = math.Pow(2*u, 1/(params.MutationEta+1)) - 1
+		} else {
+			delta = 1 - math.Pow(2*(1-u), 1/(params.MutationEta+1))
+		}
+		x[d] += delta
+	}
+	clip01(x)
+}

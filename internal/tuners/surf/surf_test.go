@@ -1,0 +1,62 @@
+package surf
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/space"
+)
+
+func TestSurfConvergesOnQuadratic(t *testing.T) {
+	p := &core.Problem{
+		Name:    "sq",
+		Tasks:   space.MustNew(space.NewReal("t", 0, 1)),
+		Tuning:  space.MustNew(space.NewReal("x0", 0, 1), space.NewReal("x1", 0, 1)),
+		Outputs: space.NewOutputSpace("y"),
+		Objective: func(task, x []float64) ([]float64, error) {
+			d0, d1 := x[0]-0.6, x[1]-0.2
+			return []float64{d0*d0 + d1*d1}, nil
+		},
+	}
+	tr, err := Tuner{}.Tune(p, []float64{0}, 35, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.X) != 35 {
+		t.Fatalf("evals = %d", len(tr.X))
+	}
+	_, y := tr.Best()
+	if y[0] > 0.02 {
+		t.Fatalf("best %v, want near 0", y[0])
+	}
+}
+
+func TestSurfHandlesCategoricals(t *testing.T) {
+	// Objective depends strongly on a categorical choice; SuRF must find
+	// the best category within the budget.
+	p := &core.Problem{
+		Name:    "cat",
+		Tasks:   space.MustNew(space.NewReal("t", 0, 1)),
+		Tuning:  space.MustNew(space.NewCategorical("alg", "a", "b", "c", "d"), space.NewReal("x", 0, 1)),
+		Outputs: space.NewOutputSpace("y"),
+		Objective: func(task, x []float64) ([]float64, error) {
+			penalty := []float64{3, 0, 2, 5}[int(x[0])]
+			d := x[1] - 0.5
+			return []float64{penalty + d*d}, nil
+		},
+	}
+	tr, err := Tuner{}.Tune(p, []float64{0}, 30, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bx, by := tr.Best()
+	if bx[0] != 1 {
+		t.Fatalf("best category %v (y=%v), want 1 (\"b\")", bx[0], by[0])
+	}
+}
+
+func TestSurfName(t *testing.T) {
+	if (Tuner{}).Name() != "surf" {
+		t.Fatalf("name = %s", (Tuner{}).Name())
+	}
+}

@@ -1,0 +1,142 @@
+// Package tuners defines the common single-task tuner interface through
+// which GPTune's comparators are invoked (the paper's Section 6.1 notes that
+// the GPTune interface can invoke other autotuners as well), plus the
+// simplest baselines of Section 5: random search and grid search.
+//
+// OpenTuner- and HpBandSter-style tuners live in the opentuner and
+// hpbandster subpackages. The paper runs both separately per task since
+// neither supports multitask learning; Tune therefore receives exactly one
+// task.
+package tuners
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/sample"
+)
+
+// Tuner tunes one task of a problem under a fixed evaluation budget.
+type Tuner interface {
+	Name() string
+	// Tune evaluates at most epsTot configurations for the given native
+	// task and returns them in evaluation order.
+	Tune(p *core.Problem, task []float64, epsTot int, seed int64) (*core.TaskResult, error)
+}
+
+// Evaluate runs the objective once and validates the outputs, returning an
+// error for non-finite metrics.
+func Evaluate(p *core.Problem, task, x []float64) ([]float64, error) {
+	y, err := p.Objective(task, x)
+	if err != nil {
+		return nil, err
+	}
+	if len(y) != p.Outputs.Dim() {
+		return nil, fmt.Errorf("tuners: objective returned %d outputs, want %d", len(y), p.Outputs.Dim())
+	}
+	for _, v := range y {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, errors.New("tuners: non-finite objective output")
+		}
+	}
+	return y, nil
+}
+
+// FinishResult computes BestIdx and wraps the trajectory.
+func FinishResult(task []float64, xs, ys [][]float64) *core.TaskResult {
+	tr := &core.TaskResult{Task: task, X: xs, Y: ys}
+	for j := range ys {
+		if ys[j][0] < ys[tr.BestIdx][0] {
+			tr.BestIdx = j
+		}
+	}
+	return tr
+}
+
+// Random is uniform random search over the feasible tuning space.
+type Random struct{}
+
+// Name implements Tuner.
+func (Random) Name() string { return "random" }
+
+// Tune implements Tuner.
+func (Random) Tune(p *core.Problem, task []float64, epsTot int, seed int64) (*core.TaskResult, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	xs := make([][]float64, 0, epsTot)
+	ys := make([][]float64, 0, epsTot)
+	for len(xs) < epsTot {
+		pts, err := sample.FeasibleUniform(p.Tuning, 1, rng)
+		if err != nil {
+			return nil, err
+		}
+		y, err := Evaluate(p, task, pts[0])
+		if err != nil {
+			continue // failed configuration: spend the attempt, not the run
+		}
+		xs = append(xs, pts[0])
+		ys = append(ys, y)
+	}
+	return FinishResult(task, xs, ys), nil
+}
+
+// Grid is coarse grid search: the budget is spread over an axis-aligned
+// grid with ⌈epsTot^(1/β)⌉ levels per dimension (Section 5's "grid search",
+// intractable in high dimensions — which is the point of the comparison).
+type Grid struct{}
+
+// Name implements Tuner.
+func (Grid) Name() string { return "grid" }
+
+// Tune implements Tuner.
+func (Grid) Tune(p *core.Problem, task []float64, epsTot int, seed int64) (*core.TaskResult, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	dim := p.Tuning.Dim()
+	levels := int(math.Ceil(math.Pow(float64(epsTot), 1/float64(dim))))
+	if levels < 2 {
+		levels = 2
+	}
+	xs := make([][]float64, 0, epsTot)
+	ys := make([][]float64, 0, epsTot)
+	u := make([]float64, dim)
+	idx := make([]int, dim)
+	for {
+		if len(xs) >= epsTot {
+			break
+		}
+		for d := 0; d < dim; d++ {
+			u[d] = float64(idx[d]) / float64(levels-1)
+		}
+		nat := p.Tuning.Denormalize(u)
+		if p.Tuning.Feasible(nat) {
+			if y, err := Evaluate(p, task, nat); err == nil {
+				xs = append(xs, append([]float64(nil), nat...))
+				ys = append(ys, y)
+			}
+		}
+		// Advance the mixed-radix counter; stop after the last cell.
+		d := 0
+		for d < dim {
+			idx[d]++
+			if idx[d] < levels {
+				break
+			}
+			idx[d] = 0
+			d++
+		}
+		if d == dim {
+			break
+		}
+	}
+	if len(xs) == 0 {
+		return nil, errors.New("tuners: grid search found no feasible evaluable point")
+	}
+	return FinishResult(task, xs, ys), nil
+}

@@ -1,0 +1,205 @@
+package tuners_test
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/space"
+	"repro/internal/tuners"
+	"repro/internal/tuners/hpbandster"
+	"repro/internal/tuners/opentuner"
+	"repro/internal/tuners/singletask"
+	"repro/internal/tuners/surf"
+)
+
+// quadProblem has a smooth quadratic objective with minimum 0 at
+// x = (0.3, 0.7), plus the task parameter shifting the minimum value.
+func quadProblem() *core.Problem {
+	return &core.Problem{
+		Name:    "quad",
+		Tasks:   space.MustNew(space.NewReal("t", 0, 1)),
+		Tuning:  space.MustNew(space.NewReal("x0", 0, 1), space.NewReal("x1", 0, 1)),
+		Outputs: space.NewOutputSpace("y"),
+		Objective: func(task, x []float64) ([]float64, error) {
+			d0 := x[0] - 0.3
+			d1 := x[1] - 0.7
+			return []float64{task[0] + 10*(d0*d0+d1*d1)}, nil
+		},
+	}
+}
+
+// ridgeProblem is multimodal with a narrow global valley — harder for pure
+// random search.
+func ridgeProblem() *core.Problem {
+	return &core.Problem{
+		Name:    "ridge",
+		Tasks:   space.MustNew(space.NewReal("t", 0, 1)),
+		Tuning:  space.MustNew(space.NewReal("x0", 0, 1), space.NewReal("x1", 0, 1)),
+		Outputs: space.NewOutputSpace("y"),
+		Objective: func(task, x []float64) ([]float64, error) {
+			v := math.Sin(6*math.Pi*x[0])*math.Cos(4*math.Pi*x[1]) +
+				5*math.Abs(x[0]-0.5) + 2*(x[1]-0.25)*(x[1]-0.25)
+			return []float64{v}, nil
+		},
+	}
+}
+
+func allTuners() []tuners.Tuner {
+	return []tuners.Tuner{
+		tuners.Random{},
+		tuners.Grid{},
+		opentuner.Tuner{},
+		hpbandster.Tuner{},
+		surf.Tuner{},
+		singletask.Tuner{},
+	}
+}
+
+func TestAllTunersRespectBudgetAndBounds(t *testing.T) {
+	p := quadProblem()
+	for _, tn := range allTuners() {
+		tr, err := tn.Tune(p, []float64{0.5}, 12, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", tn.Name(), err)
+		}
+		if len(tr.X) > 12 || len(tr.X) == 0 {
+			t.Fatalf("%s: %d evaluations (budget 12)", tn.Name(), len(tr.X))
+		}
+		if len(tr.X) != len(tr.Y) {
+			t.Fatalf("%s: X/Y length mismatch", tn.Name())
+		}
+		for _, x := range tr.X {
+			if x[0] < 0 || x[0] > 1 || x[1] < 0 || x[1] > 1 {
+				t.Fatalf("%s: out-of-bounds config %v", tn.Name(), x)
+			}
+		}
+		bx, by := tr.Best()
+		if by[0] != tr.Y[tr.BestIdx][0] || bx == nil {
+			t.Fatalf("%s: inconsistent best", tn.Name())
+		}
+	}
+}
+
+func TestModelBasedTunersBeatBudgetedRandom(t *testing.T) {
+	// On the smooth quadratic with a decent budget, OpenTuner, HpBandSter
+	// and single-task GPTune should all find a much better optimum than the
+	// worst random draw — sanity that they actually exploit structure.
+	p := quadProblem()
+	const budget = 40
+	for _, tn := range []tuners.Tuner{opentuner.Tuner{}, hpbandster.Tuner{}, surf.Tuner{}, singletask.Tuner{}} {
+		tr, err := tn.Tune(p, []float64{0}, budget, 7)
+		if err != nil {
+			t.Fatalf("%s: %v", tn.Name(), err)
+		}
+		_, by := tr.Best()
+		if by[0] > 0.3 {
+			t.Errorf("%s: best %v after %d evals on a smooth quadratic", tn.Name(), by[0], budget)
+		}
+	}
+}
+
+func TestTunersRespectConstraints(t *testing.T) {
+	p := quadProblem()
+	p.Tuning.AddConstraint("x1>=x0", func(v map[string]float64) bool { return v["x1"] >= v["x0"] })
+	for _, tn := range allTuners() {
+		tr, err := tn.Tune(p, []float64{0}, 10, 2)
+		if err != nil {
+			t.Fatalf("%s: %v", tn.Name(), err)
+		}
+		for _, x := range tr.X {
+			if x[1] < x[0] {
+				t.Fatalf("%s: constraint violated at %v", tn.Name(), x)
+			}
+		}
+	}
+}
+
+func TestTunersSurviveFailingEvaluations(t *testing.T) {
+	p := ridgeProblem()
+	inner := p.Objective
+	calls := 0
+	p.Objective = func(task, x []float64) ([]float64, error) {
+		calls++
+		if calls%4 == 0 {
+			return nil, errors.New("injected crash")
+		}
+		return inner(task, x)
+	}
+	for _, tn := range []tuners.Tuner{tuners.Random{}, opentuner.Tuner{}, hpbandster.Tuner{}, surf.Tuner{}} {
+		calls = 0
+		tr, err := tn.Tune(p, []float64{0}, 10, 3)
+		if err != nil {
+			t.Fatalf("%s: did not survive failures: %v", tn.Name(), err)
+		}
+		if len(tr.X) != 10 {
+			t.Fatalf("%s: got %d evals", tn.Name(), len(tr.X))
+		}
+	}
+}
+
+func TestGridCoversCorners(t *testing.T) {
+	p := quadProblem()
+	tr, err := tuners.Grid{}.Tune(p, []float64{0}, 9, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 9 points in 2-D → 3 levels/dim; corners (0,0) and (1,1) included.
+	found00, found11 := false, false
+	for _, x := range tr.X {
+		if x[0] == 0 && x[1] == 0 {
+			found00 = true
+		}
+		if x[0] == 1 && x[1] == 1 {
+			found11 = true
+		}
+	}
+	if !found00 || !found11 {
+		t.Fatalf("grid missing corners: %v", tr.X)
+	}
+}
+
+func TestOpenTunerDeterministicPerSeed(t *testing.T) {
+	p := ridgeProblem()
+	a, err := opentuner.Tuner{}.Tune(p, []float64{0}, 15, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := opentuner.Tuner{}.Tune(p, []float64{0}, 15, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.X {
+		for d := range a.X[i] {
+			if a.X[i][d] != b.X[i][d] {
+				t.Fatalf("same seed diverged at sample %d", i)
+			}
+		}
+	}
+}
+
+func TestHpBandSterUsesModelAfterWarmup(t *testing.T) {
+	// With RandomFraction ~0 and enough warmup, TPE proposals should
+	// concentrate: the mean distance of late samples to the optimum should
+	// be smaller than that of early (random) samples.
+	p := quadProblem()
+	tr, err := hpbandster.Tuner{RandomFraction: 1e-9}.Tune(p, []float64{0}, 40, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	distTo := func(x []float64) float64 {
+		return math.Hypot(x[0]-0.3, x[1]-0.7)
+	}
+	early, late := 0.0, 0.0
+	for i, x := range tr.X {
+		if i < 10 {
+			early += distTo(x)
+		} else if i >= 30 {
+			late += distTo(x)
+		}
+	}
+	if late/10 >= early/10 {
+		t.Fatalf("TPE not concentrating: early mean dist %v, late %v", early/10, late/10)
+	}
+}
