@@ -1,0 +1,171 @@
+// Command benchmodeling times the modeling-phase hot path of the tuner at the
+// paper's Table 3 regime (δ=4 tasks, n≈300 total samples, β=4 tuning
+// parameters, Q=3 latent functions) and writes the measurements to
+// BENCH_MODELING.json so modeling-phase regressions show up in review diffs.
+//
+// It exercises the exported surface only: FitLCM at 1 and 4 workers (the
+// likelihood/gradient engine, parallel blocked Cholesky and inverse underneath)
+// and the two prediction paths (allocating Predict vs workspace PredictBatch,
+// the latter driving the search phase). The per-evaluation gradient
+// engine-vs-reference comparison lives in internal/gp's benchmarks:
+//
+//	go test ./internal/gp/ -run XXX -bench LCMLogLikGrad
+//
+// Usage: go run ./cmd/benchmodeling [-o BENCH_MODELING.json] [-reps 3]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/gp"
+)
+
+const (
+	benchTasks   = 4
+	benchSamples = 75 // n = 300 total
+	benchDim     = 4
+	benchQ       = 3
+	batchPoints  = 256
+)
+
+type report struct {
+	Config struct {
+		Tasks        int    `json:"tasks"`
+		SamplesEach  int    `json:"samples_per_task"`
+		TotalSamples int    `json:"total_samples"`
+		Dim          int    `json:"dim"`
+		Q            int    `json:"q"`
+		NumStarts    int    `json:"num_starts"`
+		MaxIter      int    `json:"max_iter"`
+		GoVersion    string `json:"go_version"`
+		GOMAXPROCS   int    `json:"gomaxprocs"`
+		Reps         int    `json:"reps"`
+	} `json:"config"`
+	FitLCMWorkers1NsOp     int64   `json:"fit_lcm_workers1_ns_op"`
+	FitLCMWorkers4NsOp     int64   `json:"fit_lcm_workers4_ns_op"`
+	FitLCMWorkersLogLikAbs float64 `json:"fit_lcm_workers_loglik_absdiff"`
+	PredictNsOp            int64   `json:"predict_ns_op"`
+	PredictBatchNsPerPoint int64   `json:"predict_batch_ns_per_point"`
+	PredictIntoAllocsPerOp float64 `json:"predict_into_allocs_per_op"`
+}
+
+func syntheticDataset(rng *rand.Rand, tasks, samples, dim int) *gp.Dataset {
+	d := &gp.Dataset{Dim: dim, X: make([][][]float64, tasks), Y: make([][]float64, tasks)}
+	for i := 0; i < tasks; i++ {
+		for j := 0; j < samples; j++ {
+			x := make([]float64, dim)
+			for k := range x {
+				x[k] = rng.Float64()
+			}
+			y := math.Sin(2*math.Pi*x[0]) + float64(i)*0.3*math.Cos(2*math.Pi*x[1]) + 0.05*rng.NormFloat64()
+			d.X[i] = append(d.X[i], x)
+			d.Y[i] = append(d.Y[i], y)
+		}
+	}
+	return d
+}
+
+// best-of-reps wall time for one call of fn, in ns. Minimum over repetitions
+// is the standard noise filter for single-machine timings.
+func bestOf(reps int, fn func()) int64 {
+	best := int64(math.MaxInt64)
+	for r := 0; r < reps; r++ {
+		t0 := time.Now()
+		fn()
+		if d := time.Since(t0).Nanoseconds(); d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+func main() {
+	out := flag.String("o", "BENCH_MODELING.json", "output path")
+	reps := flag.Int("reps", 3, "repetitions per measurement (best is kept)")
+	flag.Parse()
+	if *reps < 1 {
+		*reps = 1
+	}
+
+	rng := rand.New(rand.NewSource(1))
+	data := syntheticDataset(rng, benchTasks, benchSamples, benchDim)
+	opts := gp.FitOptions{Q: benchQ, NumStarts: 2, MaxIter: 8, Seed: 3}
+
+	var rep report
+	rep.Config.Tasks = benchTasks
+	rep.Config.SamplesEach = benchSamples
+	rep.Config.TotalSamples = data.TotalSamples()
+	rep.Config.Dim = benchDim
+	rep.Config.Q = benchQ
+	rep.Config.NumStarts = opts.NumStarts
+	rep.Config.MaxIter = opts.MaxIter
+	rep.Config.GoVersion = runtime.Version()
+	rep.Config.GOMAXPROCS = runtime.GOMAXPROCS(0)
+	rep.Config.Reps = *reps
+
+	var m1, m4 *gp.LCM
+	var err error
+	o1 := opts
+	o1.Workers = 1
+	rep.FitLCMWorkers1NsOp = bestOf(*reps, func() {
+		if m1, err = gp.FitLCM(data, o1); err != nil {
+			fmt.Fprintln(os.Stderr, "FitLCM workers=1:", err)
+			os.Exit(1)
+		}
+	})
+	o4 := opts
+	o4.Workers = 4
+	rep.FitLCMWorkers4NsOp = bestOf(*reps, func() {
+		if m4, err = gp.FitLCM(data, o4); err != nil {
+			fmt.Fprintln(os.Stderr, "FitLCM workers=4:", err)
+			os.Exit(1)
+		}
+	})
+	// Workers must not change the fitted model (bitwise-deterministic
+	// reductions); surface any drift right in the report.
+	rep.FitLCMWorkersLogLikAbs = math.Abs(m1.LogLik - m4.LogLik)
+
+	xs := make([][]float64, batchPoints)
+	for k := range xs {
+		x := make([]float64, benchDim)
+		for d := range x {
+			x[d] = rng.Float64()
+		}
+		xs[k] = x
+	}
+	rep.PredictNsOp = bestOf(*reps, func() {
+		for _, x := range xs {
+			m1.Predict(0, x)
+		}
+	}) / int64(len(xs))
+
+	ws := m1.NewPredictWorkspace()
+	means := make([]float64, len(xs))
+	vars := make([]float64, len(xs))
+	rep.PredictBatchNsPerPoint = bestOf(*reps, func() {
+		m1.PredictBatch(0, xs, means, vars, ws)
+	}) / int64(len(xs))
+	rep.PredictIntoAllocsPerOp = testing.AllocsPerRun(200, func() {
+		m1.PredictInto(ws, 0, xs[0])
+	})
+
+	buf, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "marshal:", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "write:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n%s", *out, buf)
+}

@@ -526,10 +526,11 @@ func (st *state) acquisition(mu, variance, yBest float64) float64 {
 // damped near already-chosen points so the batch spreads out.
 func (st *state) searchBatch(i int, model *gp.LCM, tv func(float64) float64, fs *featureScale) [][]float64 {
 	k := st.opts.BatchEvals
+	ws := model.NewPredictWorkspace() // one per task goroutine; reused by every acquisition call
 	var chosen [][]float64     // native
 	var chosenNorm [][]float64 // normalized, for the penalty
 	for b := 0; b < k; b++ {
-		x := st.searchOne(i, model, tv, fs, chosenNorm, int64(b))
+		x := st.searchOne(i, model, ws, tv, fs, chosenNorm, int64(b))
 		if x == nil {
 			continue
 		}
@@ -543,7 +544,7 @@ func (st *state) searchBatch(i int, model *gp.LCM, tv func(float64) float64, fs 
 // swarm with the incumbent best configuration, damping near the avoid
 // points (batch spreading). It returns a native configuration, avoiding
 // exact duplicates of already-evaluated points.
-func (st *state) searchOne(i int, model *gp.LCM, tv func(float64) float64, fs *featureScale, avoid [][]float64, salt int64) []float64 {
+func (st *state) searchOne(i int, model *gp.LCM, ws *gp.PredictWorkspace, tv func(float64) float64, fs *featureScale, avoid [][]float64, salt int64) []float64 {
 	yBest := math.Inf(1)
 	bestIdx := 0
 	for j, y := range st.Y[i] {
@@ -560,7 +561,7 @@ func (st *state) searchOne(i int, model *gp.LCM, tv func(float64) float64, fs *f
 			return math.Inf(1)
 		}
 		pt := st.modelPoint(i, xNat, fs)
-		mu, v := model.Predict(i, pt)
+		mu, v := model.PredictInto(ws, i, pt)
 		score := st.acquisition(mu, v, yBest)
 		if len(avoid) > 0 && score < 0 {
 			un := st.p.Tuning.Normalize(xNat)

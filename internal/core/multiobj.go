@@ -89,6 +89,10 @@ func (st *state) searchMO(i int, models []*gp.LCM, transforms []func(float64) fl
 		}
 	}
 	rng := rand.New(rand.NewSource(st.opts.Seed ^ hash2(13+i, st.minSamples())))
+	wss := make([]*gp.PredictWorkspace, gamma) // one set per task goroutine, reused across NSGA-II evals
+	for s := range wss {
+		wss[s] = models[s].NewPredictWorkspace()
+	}
 	objective := func(u []float64) []float64 {
 		xNat := st.p.Tuning.Denormalize(u)
 		out := make([]float64, gamma)
@@ -100,7 +104,7 @@ func (st *state) searchMO(i int, models []*gp.LCM, transforms []func(float64) fl
 		}
 		pt := st.modelPoint(i, xNat, fs)
 		for s := 0; s < gamma; s++ {
-			mu, v := models[s].Predict(i, pt)
+			mu, v := models[s].PredictInto(wss[s], i, pt)
 			out[s] = -acq.ExpectedImprovement(mu, v, yBest[s])
 		}
 		return out

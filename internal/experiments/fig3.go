@@ -99,8 +99,9 @@ func timeOneIteration(tasks [][]float64, eps, workers int, seed int64) (modeling
 			}
 		}
 		prng := rand.New(rand.NewSource(seed + int64(i)))
+		ws := model.NewPredictWorkspace()
 		opt.PSO(func(u []float64) float64 {
-			mu, v := model.Predict(i, u)
+			mu, v := model.PredictInto(ws, i, u)
 			return -acq.ExpectedImprovement(mu, v, yBest)
 		}, 1, opt.PSOParams{Particles: 20, MaxIter: 30}, prng)
 	})

@@ -1,0 +1,43 @@
+package gp
+
+// pairCache holds the per-dimension pairwise squared differences of a fixed
+// sample set, packed over the upper triangle (r ≤ s) in row-major order.
+// It is computed once per FitLCM call and shared read-only by every L-BFGS
+// evaluation of every restart, so the ~400 likelihood/gradient evaluations
+// of a modeling phase never re-touch the raw coordinates: each kernel entry
+// becomes a weighted sum over cached distances (the paper's Table 3 shows
+// modeling time dominating as n·δ grows, which makes this the hot path).
+//
+// Layout: pair p = pairStart(r) + (s-r) for r ≤ s, and sq[p*dim+d] holds
+// (x_r[d] - x_s[d])². Diagonal pairs are stored (as zeros) to keep row
+// ranges contiguous: row r owns pairs [pairStart(r), pairStart(r)+n-r).
+type pairCache struct {
+	n, dim int
+	npairs int
+	sq     []float64 // len npairs*dim, pair-major
+}
+
+// pairStart returns the packed index of pair (r, r).
+func (c *pairCache) pairStart(r int) int {
+	return r*c.n - r*(r-1)/2
+}
+
+// newPairCache precomputes the squared-difference tensor for flatX.
+func newPairCache(flatX [][]float64, dim int) *pairCache {
+	n := len(flatX)
+	c := &pairCache{n: n, dim: dim, npairs: n * (n + 1) / 2}
+	c.sq = make([]float64, c.npairs*dim)
+	for r := 0; r < n; r++ {
+		xr := flatX[r]
+		p := c.pairStart(r)
+		for s := r; s < n; s++ {
+			xs := flatX[s]
+			base := (p + s - r) * dim
+			for d := 0; d < dim; d++ {
+				diff := xr[d] - xs[d]
+				c.sq[base+d] = diff * diff
+			}
+		}
+	}
+	return c
+}

@@ -91,6 +91,15 @@ type LCM struct {
 	yNorm  []float64 // standardized training outputs (for LOO diagnostics)
 	yMean  float64
 	yStd   float64
+
+	// Prediction fast-path tables built by prepPredict (see predict.go):
+	// contiguous training coordinates, the per-task cross-covariance
+	// coefficient table, per-latent inverse-square lengthscales, and the
+	// per-task prior variance.
+	xflat     []float64   // [n*Dim] row-major copy of flatX
+	predCoef  [][]float64 // [task][n*Q]: A[q][task]·A[q][taskOf[r]] (+B[q][task])
+	predWinv  []float64   // [Q*Dim]: 0.5/l²
+	predPrior []float64   // [task]: Σ_q (a²+b) + d
 }
 
 // FitOptions configures LCM hyperparameter learning (the paper's modeling
@@ -175,20 +184,13 @@ func FitLCM(data *Dataset, options FitOptions) (*LCM, error) {
 	}
 
 	layout := hyperLayout{q: options.Q, dim: data.Dim, tasks: numTasks}
-	eval := func(theta []float64, grad []float64) float64 {
-		ll, g, err := lcmLogLikGrad(theta, layout, flatX, taskOf, yn)
-		if err != nil {
-			// Indefinite covariance even after jitter: reject the region.
-			for i := range grad {
-				grad[i] = 0
-			}
-			return math.Inf(1)
-		}
-		for i := range grad {
-			grad[i] = -g[i]
-		}
-		return -ll
-	}
+
+	// The per-dimension pairwise squared-difference tensor is computed once
+	// and shared read-only by every L-BFGS evaluation of every restart and
+	// by the final factorization (Section 4.2 parallelizes hyperparameter
+	// learning; the cache is what keeps each evaluation from re-touching
+	// the raw coordinates).
+	cache := newPairCache(flatX, data.Dim)
 
 	type fitResult struct {
 		theta []float64
@@ -201,21 +203,44 @@ func FitLCM(data *Dataset, options FitOptions) (*LCM, error) {
 		starts <- s
 	}
 	close(starts)
-	workers := options.Workers
-	if workers > options.NumStarts {
-		workers = options.NumStarts
+	// Split the worker budget: restarts first (they are embarrassingly
+	// parallel), leftover workers parallelize inside each evaluation. The
+	// fitted model is identical for every split — the engine's reductions
+	// are worker-count independent.
+	restartWorkers := options.Workers
+	if restartWorkers > options.NumStarts {
+		restartWorkers = options.NumStarts
 	}
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func(w int) {
+	innerWorkers := options.Workers / restartWorkers
+	if innerWorkers < 1 {
+		innerWorkers = 1
+	}
+	wg.Add(restartWorkers)
+	for w := 0; w < restartWorkers; w++ {
+		go func() {
 			defer wg.Done()
+			eng := newLCMEngine(cache, layout, taskOf, yn, innerWorkers, options.CholBlock)
+			eval := func(theta []float64, grad []float64) float64 {
+				ll, g, err := eng.logLikGrad(theta)
+				if err != nil {
+					// Indefinite covariance even after jitter: reject the region.
+					for i := range grad {
+						grad[i] = 0
+					}
+					return math.Inf(1)
+				}
+				for i := range grad {
+					grad[i] = -g[i]
+				}
+				return -ll
+			}
 			for s := range starts {
 				rng := rand.New(rand.NewSource(options.Seed + int64(s)*7919 + 1))
 				theta0 := randomInit(layout, rng)
 				res := opt.LBFGS(eval, theta0, opt.LBFGSParams{MaxIter: options.MaxIter})
 				results[s] = fitResult{theta: res.X, ll: -res.F}
 			}
-		}(w)
+		}()
 	}
 	wg.Wait()
 
@@ -239,8 +264,11 @@ func FitLCM(data *Dataset, options FitOptions) (*LCM, error) {
 	model.yMean = mean
 	model.yStd = std
 
-	// Final factorization for prediction, parallel per Section 4.3.
-	sigma := model.covariance(flatX, taskOf)
+	// Final factorization for prediction, parallel per Section 4.3, reusing
+	// the distance cache for the covariance assembly.
+	eng := newLCMEngine(cache, layout, taskOf, yn, options.Workers, options.CholBlock)
+	eng.prepare(model)
+	sigma := eng.assembleSigma(model)
 	l, jit, err := parallelCholJitter(sigma, options.CholBlock, options.Workers)
 	if err != nil {
 		return nil, fmt.Errorf("gp: final covariance factorization: %w", err)
@@ -249,6 +277,7 @@ func FitLCM(data *Dataset, options FitOptions) (*LCM, error) {
 	model.chol = l
 	model.alpha = la.SolveCholVec(l, yn)
 	model.yNorm = yn
+	model.prepPredict()
 	return model, nil
 }
 
@@ -380,107 +409,10 @@ func (m *LCM) Predict(task int, x []float64) (mean, variance float64) {
 	return mean, variance
 }
 
-// lcmLogLikGrad evaluates the log marginal likelihood and its gradient with
-// respect to the (partially log-transformed) hyperparameter vector.
-func lcmLogLikGrad(theta []float64, layout hyperLayout, flatX [][]float64, taskOf []int, yn []float64) (float64, []float64, error) {
-	m := thetaToModel(theta, layout)
-	n := len(flatX)
-
-	// Per-latent kernel matrices K_q (needed again in the gradient).
-	kq := make([]*la.Matrix, layout.q)
-	for q := range kq {
-		kq[q] = la.NewMatrix(n, n)
-		for r := 0; r < n; r++ {
-			for s := r; s < n; s++ {
-				v := rbf(flatX[r], flatX[s], m.Ls[q])
-				kq[q].Set(r, s, v)
-				kq[q].Set(s, r, v)
-			}
-		}
-	}
-	sigma := la.NewMatrix(n, n)
-	for r := 0; r < n; r++ {
-		for s := r; s < n; s++ {
-			v := 0.0
-			ti, tj := taskOf[r], taskOf[s]
-			for q := 0; q < layout.q; q++ {
-				coef := m.A[q][ti] * m.A[q][tj]
-				if ti == tj {
-					coef += m.B[q][ti]
-				}
-				v += coef * kq[q].At(r, s)
-			}
-			if r == s {
-				v += m.D[ti]
-			}
-			sigma.Set(r, s, v)
-			sigma.Set(s, r, v)
-		}
-	}
-
-	l, _, err := la.CholeskyJitter(sigma, 1e-10)
-	if err != nil {
-		return 0, nil, err
-	}
-	alpha := la.SolveCholVec(l, yn)
-	ll := -0.5*la.Dot(yn, alpha) - 0.5*la.LogDetFromChol(l) - 0.5*float64(n)*math.Log(2*math.Pi)
-
-	// M = ααᵀ - Σ⁻¹; dL/dθ_p = ½ Σ_rs M_rs (∂Σ/∂θ_p)_rs.
-	inv := la.CholInverse(l)
-	mm := la.NewMatrix(n, n)
-	for r := 0; r < n; r++ {
-		for s := 0; s < n; s++ {
-			mm.Set(r, s, alpha[r]*alpha[s]-inv.At(r, s))
-		}
-	}
-
-	grad := make([]float64, layout.total())
-	for q := 0; q < layout.q; q++ {
-		aq := m.A[q]
-		bq := m.B[q]
-		lsq := m.Ls[q]
-		// Precompute coefficient matrix entries on the fly.
-		for r := 0; r < n; r++ {
-			tr := taskOf[r]
-			for s := 0; s < n; s++ {
-				ts := taskOf[s]
-				mk := mm.At(r, s) * kq[q].At(r, s)
-				if mk == 0 {
-					continue
-				}
-				coef := aq[tr] * aq[ts]
-				if tr == ts {
-					coef += bq[tr]
-				}
-				// Lengthscales (log-space chain rule: ×1/l² instead of 1/l³·l).
-				if coef != 0 {
-					base := 0.5 * mk * coef
-					for d := 0; d < layout.dim; d++ {
-						diff2 := sqDiff(flatX[r], flatX[s], d)
-						if diff2 != 0 {
-							grad[layout.lsAt(q, d)] += base * diff2 / (lsq[d] * lsq[d])
-						}
-					}
-				}
-				// a_{m,q}: ∂Σ_rs/∂a_mq = δ(tr=m)·a_ts + δ(ts=m)·a_tr.
-				grad[layout.aAt(q, tr)] += 0.5 * mk * aq[ts]
-				grad[layout.aAt(q, ts)] += 0.5 * mk * aq[tr]
-				// b_{m,q} (log-space: ×b).
-				if tr == ts {
-					grad[layout.bAt(q, tr)] += 0.5 * mk * bq[tr]
-				}
-			}
-		}
-	}
-	// d_i (log-space: ×d).
-	for r := 0; r < n; r++ {
-		grad[layout.dAt(taskOf[r])] += 0.5 * mm.At(r, r) * m.D[taskOf[r]]
-	}
-	return ll, grad, nil
-}
-
 // parallelCholJitter is CholeskyJitter backed by the parallel blocked
-// factorization.
+// factorization. Both the per-evaluation factorization inside
+// lcmEngine.logLikGrad and the final prediction factorization route through
+// it, so FitOptions.Workers/CholBlock govern every Cholesky of a fit.
 func parallelCholJitter(a *la.Matrix, block, workers int) (*la.Matrix, float64, error) {
 	n := a.Rows
 	meanDiag := 0.0

@@ -1,0 +1,115 @@
+package gp
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Realistic modeling-phase sizes per the paper's Table 3 regime: δ=4 tasks,
+// ~75 samples each (n≈300), β=4 tuning dimensions, Q=3 latent functions.
+const (
+	benchTasks   = 4
+	benchSamples = 75
+	benchDim     = 4
+	benchQ       = 3
+)
+
+func benchGradSetup(b *testing.B) (hyperLayout, [][]float64, []int, []float64, []float64) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	data := syntheticDataset(rng, benchTasks, benchSamples, benchDim, 0.05)
+	layout := hyperLayout{q: benchQ, dim: data.Dim, tasks: data.NumTasks()}
+	flatX, taskOf, yn := flatten(data)
+	theta := randomInit(layout, rng)
+	return layout, flatX, taskOf, yn, theta
+}
+
+// BenchmarkLCMLogLikGradReference is the pre-PR serial baseline: pairwise
+// distances recomputed from raw coordinates each call, full-matrix serial
+// gradient sweep, serial Cholesky and inverse.
+func BenchmarkLCMLogLikGradReference(b *testing.B) {
+	layout, flatX, taskOf, yn, theta := benchGradSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := lcmLogLikGradReference(theta, layout, flatX, taskOf, yn); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchEngine(b *testing.B, workers int) {
+	layout, flatX, taskOf, yn, theta := benchGradSetup(b)
+	eng := newLCMEngine(newPairCache(flatX, layout.dim), layout, taskOf, yn, workers, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := eng.logLikGrad(theta); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLCMLogLikGrad is the cached engine at one worker (pure
+// algorithmic speedup over the reference).
+func BenchmarkLCMLogLikGrad(b *testing.B) { benchEngine(b, 1) }
+
+// BenchmarkLCMLogLikGradWorkers4 adds 4-way parallel assembly, gradient
+// sweep, Cholesky, and inverse.
+func BenchmarkLCMLogLikGradWorkers4(b *testing.B) { benchEngine(b, 4) }
+
+func benchFitLCM(b *testing.B, workers int) {
+	rng := rand.New(rand.NewSource(2))
+	data := syntheticDataset(rng, benchTasks, 50, benchDim, 0.05) // n = 200
+	opts := FitOptions{Q: benchQ, NumStarts: 2, MaxIter: 8, Seed: 3, Workers: workers}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FitLCM(data, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFitLCM(b *testing.B)         { benchFitLCM(b, 1) }
+func BenchmarkFitLCMWorkers4(b *testing.B) { benchFitLCM(b, 4) }
+
+func benchPredictModel(b *testing.B) (*LCM, [][]float64) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(4))
+	data := syntheticDataset(rng, benchTasks, benchSamples, benchDim, 0.05)
+	model, err := FitLCM(data, FitOptions{Q: benchQ, NumStarts: 1, MaxIter: 10, Seed: 5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var xs [][]float64
+	for k := 0; k < 256; k++ {
+		x := make([]float64, benchDim)
+		for d := range x {
+			x[d] = rng.Float64()
+		}
+		xs = append(xs, x)
+	}
+	return model, xs
+}
+
+// BenchmarkPredict is the original allocating prediction path (per point).
+func BenchmarkPredict(b *testing.B) {
+	model, xs := benchPredictModel(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		model.Predict(i%benchTasks, xs[i%len(xs)])
+	}
+}
+
+// BenchmarkPredictBatch is the workspace path the PSO search loop uses;
+// allocs/op must be ~zero in steady state.
+func BenchmarkPredictBatch(b *testing.B) {
+	model, xs := benchPredictModel(b)
+	ws := model.NewPredictWorkspace()
+	means := make([]float64, len(xs))
+	vars := make([]float64, len(xs))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		model.PredictBatch(i%benchTasks, xs, means, vars, ws)
+	}
+}

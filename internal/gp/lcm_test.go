@@ -107,12 +107,14 @@ func TestLCMGradientMatchesFiniteDifference(t *testing.T) {
 		yn[i] = (v - mean) / std
 	}
 
+	eng := newLCMEngine(newPairCache(flatX, data.Dim), layout, taskOf, yn, 1, 64)
 	for trial := 0; trial < 5; trial++ {
 		theta := randomInit(layout, rng)
-		ll, grad, err := lcmLogLikGrad(theta, layout, flatX, taskOf, yn)
+		ll, g, err := eng.logLikGrad(theta)
 		if err != nil {
 			t.Fatalf("trial %d: %v", trial, err)
 		}
+		grad := append([]float64(nil), g...) // engine reuses its gradient buffer
 		if math.IsNaN(ll) {
 			t.Fatalf("trial %d: NaN log-likelihood", trial)
 		}
@@ -120,9 +122,9 @@ func TestLCMGradientMatchesFiniteDifference(t *testing.T) {
 		for p := 0; p < layout.total(); p++ {
 			tp := append([]float64(nil), theta...)
 			tp[p] += h
-			lp, _, err1 := lcmLogLikGrad(tp, layout, flatX, taskOf, yn)
+			lp, _, err1 := eng.logLikGrad(tp)
 			tp[p] -= 2 * h
-			lm, _, err2 := lcmLogLikGrad(tp, layout, flatX, taskOf, yn)
+			lm, _, err2 := eng.logLikGrad(tp)
 			if err1 != nil || err2 != nil {
 				continue
 			}

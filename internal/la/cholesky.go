@@ -25,10 +25,7 @@ func Cholesky(a *Matrix) (*Matrix, error) {
 		li := l.Row(i)
 		for j := 0; j <= i; j++ {
 			lj := l.Row(j)
-			s := a.At(i, j)
-			for k := 0; k < j; k++ {
-				s -= li[k] * lj[k]
-			}
+			s := a.At(i, j) - Dot(li[:j], lj[:j])
 			if i == j {
 				if s <= 0 || math.IsNaN(s) {
 					return nil, ErrNotPositiveDefinite
@@ -101,11 +98,7 @@ func ForwardSubst(l *Matrix, b []float64) {
 	}
 	for i := 0; i < n; i++ {
 		li := l.Row(i)
-		s := b[i]
-		for k := 0; k < i; k++ {
-			s -= li[k] * b[k]
-		}
-		b[i] = s / li[i]
+		b[i] = (b[i] - Dot(li[:i], b[:i])) / li[i]
 	}
 }
 
@@ -150,31 +143,86 @@ func SolveCholMat(l *Matrix, b *Matrix) *Matrix {
 // dot products, which is roughly 3× cheaper than per-column two-sided
 // solves and fully cache-friendly.
 func CholInverse(l *Matrix) *Matrix {
+	return ParallelCholInverse(l, 1)
+}
+
+// ParallelCholInverse is CholInverse with the independent column solves of
+// W = L⁻¹ and the row-wise WᵀW assembly distributed over nworkers
+// goroutines. Both phases process columns/rows in fused pairs so each shared
+// operand row of L (resp. W) is loaded once for two results, roughly halving
+// the memory traffic of these n³/6 phases. The pairing and every summation
+// order depend only on n — never on nworkers — so the result is bitwise
+// identical to CholInverse for any worker count.
+func ParallelCholInverse(l *Matrix, nworkers int) *Matrix {
+	return ParallelCholInverseInto(l, nworkers, nil, nil)
+}
+
+// ParallelCholInverseInto is ParallelCholInverse writing into caller-provided
+// scratch: wt (the W = L⁻¹ workspace) and inv (the result) must each be n×n,
+// or nil to allocate fresh. Neither needs zeroing between calls — every entry
+// read is written first. Reusing both across the ~10² gradient evaluations of
+// an L-BFGS restart removes the dominant per-evaluation allocation.
+func ParallelCholInverseInto(l *Matrix, nworkers int, wt, inv *Matrix) *Matrix {
 	n := l.Rows
 	// wt.Row(j)[k] holds W[k][j], i.e. the solution of L·w = e_j (nonzero
-	// only for k ≥ j).
-	wt := NewMatrix(n, n)
-	for j := 0; j < n; j++ {
-		row := wt.Row(j)
-		row[j] = 1 / l.At(j, j)
-		for k := j + 1; k < n; k++ {
+	// only for k ≥ j). Columns of W are mutually independent.
+	if wt == nil {
+		wt = NewMatrix(n, n)
+	} else if wt.Rows != n || wt.Cols != n {
+		panic("la: ParallelCholInverseInto wt dimension mismatch")
+	}
+	npair := (n + 1) / 2
+	parallelBlocks(0, npair, nworkers, func(g int) {
+		j0 := 2 * g
+		j1 := j0 + 1
+		row0 := wt.Row(j0)
+		row0[j0] = 1 / l.At(j0, j0)
+		if j1 >= n {
+			return
+		}
+		lj1 := l.Row(j1)
+		row0[j1] = -lj1[j0] * row0[j0] / lj1[j1]
+		row1 := wt.Row(j1)
+		row1[j1] = 1 / lj1[j1]
+		for k := j1 + 1; k < n; k++ {
 			lk := l.Row(k)
-			s := 0.0
-			for m := j; m < k; m++ {
-				s += lk[m] * row[m]
+			s0, s1 := dotPair(lk[j1:k], row0[j1:k], row1[j1:k])
+			s0 += lk[j0] * row0[j0]
+			row0[k] = -s0 / lk[k]
+			row1[k] = -s1 / lk[k]
+		}
+	})
+	if inv == nil {
+		inv = NewMatrix(n, n)
+	} else if inv.Rows != n || inv.Cols != n {
+		panic("la: ParallelCholInverseInto inv dimension mismatch")
+	}
+	parallelBlocks(0, npair, nworkers, func(g int) {
+		i0 := 2 * g
+		i1 := i0 + 1
+		wi0 := wt.Row(i0)
+		if i1 >= n {
+			// Odd tail row: plain per-entry dot products.
+			for j := 0; j <= i0; j++ {
+				s := Dot(wi0[i0:], wt.Row(j)[i0:]) // entries below max(i,j)=i0 vanish
+				inv.Data[i0*n+j] = s
+				inv.Data[j*n+i0] = s
 			}
-			row[k] = -s / lk[k]
+			return
 		}
-	}
-	inv := NewMatrix(n, n)
-	for i := 0; i < n; i++ {
-		wi := wt.Row(i)
-		for j := 0; j <= i; j++ {
-			s := Dot(wi[i:], wt.Row(j)[i:]) // entries below max(i,j)=i vanish
-			inv.Data[i*n+j] = s
-			inv.Data[j*n+i] = s
+		wi1 := wt.Row(i1)
+		for j := 0; j <= i0; j++ {
+			wj := wt.Row(j)
+			s0, s1 := dotPair(wj[i1:], wi0[i1:], wi1[i1:])
+			s0 += wi0[i0] * wj[i0]
+			inv.Data[i0*n+j] = s0
+			inv.Data[j*n+i0] = s0
+			inv.Data[i1*n+j] = s1
+			inv.Data[j*n+i1] = s1
 		}
-	}
+		d := Dot(wi1[i1:], wi1[i1:])
+		inv.Data[i1*n+i1] = d
+	})
 	return inv
 }
 
@@ -193,7 +241,13 @@ func LogDetFromChol(l *Matrix) float64 {
 // ScaLAPACK-parallelized covariance factorization in the paper's Section 4.3
 // and drives the Fig. 3 modeling-phase speedup experiment.
 //
-// blockSize ≤ 0 selects a default. nworkers ≤ 1 runs serially.
+// The factor is bitwise identical for every nworkers value: the blocked
+// schedule (and hence every floating-point summation order) depends only on
+// n and blockSize, and workers only decide which goroutine runs each
+// independent block. The LCM fit relies on this to produce the same model
+// regardless of FitOptions.Workers.
+//
+// blockSize ≤ 0 selects a default. nworkers ≤ 1 runs the blocks inline.
 func ParallelCholesky(a *Matrix, blockSize, nworkers int) (*Matrix, error) {
 	if a.Rows != a.Cols {
 		return nil, errors.New("la: ParallelCholesky of non-square matrix")
@@ -205,7 +259,7 @@ func ParallelCholesky(a *Matrix, blockSize, nworkers int) (*Matrix, error) {
 	if nworkers <= 0 {
 		nworkers = runtime.GOMAXPROCS(0)
 	}
-	if n <= blockSize || nworkers == 1 {
+	if n <= blockSize {
 		return Cholesky(a)
 	}
 	l := a.Clone()
@@ -258,18 +312,17 @@ func ParallelCholesky(a *Matrix, blockSize, nworkers int) (*Matrix, error) {
 func cholInPlace(l *Matrix, k0, k1 int) error {
 	n := l.Cols
 	for i := k0; i < k1; i++ {
+		ri := l.Data[i*n:]
 		for j := k0; j <= i; j++ {
-			s := l.Data[i*n+j]
-			for k := k0; k < j; k++ {
-				s -= l.Data[i*n+k] * l.Data[j*n+k]
-			}
+			rj := l.Data[j*n:]
+			s := ri[j] - Dot(ri[k0:j], rj[k0:j])
 			if i == j {
 				if s <= 0 || math.IsNaN(s) {
 					return ErrNotPositiveDefinite
 				}
-				l.Data[i*n+j] = math.Sqrt(s)
+				ri[j] = math.Sqrt(s)
 			} else {
-				l.Data[i*n+j] = s / l.Data[j*n+j]
+				ri[j] = s / rj[j]
 			}
 		}
 	}
@@ -277,49 +330,84 @@ func cholInPlace(l *Matrix, k0, k1 int) error {
 }
 
 // trsmRight solves X·Lkkᵀ = B in place for the panel block rows
-// l[i0:i1, k0:k1], where Lkk = l[k0:k1, k0:k1] is already factored.
+// l[i0:i1, k0:k1], where Lkk = l[k0:k1, k0:k1] is already factored. Rows are
+// processed in fused pairs sharing each Lkk row load; dotPair accumulates
+// exactly like two Dot calls, so the result is unchanged.
 func trsmRight(l *Matrix, i0, i1, k0, k1 int) {
 	n := l.Cols
-	for i := i0; i < i1; i++ {
+	i := i0
+	for ; i+1 < i1; i += 2 {
+		ra := l.Data[i*n:]
+		rb := l.Data[(i+1)*n:]
+		for j := k0; j < k1; j++ {
+			lj := l.Data[j*n:]
+			sa, sb := dotPair(lj[k0:j], ra[k0:j], rb[k0:j])
+			ra[j] = (ra[j] - sa) / lj[j]
+			rb[j] = (rb[j] - sb) / lj[j]
+		}
+	}
+	for ; i < i1; i++ {
 		row := l.Data[i*n:]
 		for j := k0; j < k1; j++ {
-			s := row[j]
 			lj := l.Data[j*n:]
-			for k := k0; k < j; k++ {
-				s -= row[k] * lj[k]
-			}
-			row[j] = s / lj[j]
+			row[j] = (row[j] - Dot(row[k0:j], lj[k0:j])) / lj[j]
 		}
 	}
 }
 
 // gemmUpdate performs l[i0:i1, j0:j1] -= l[i0:i1, k0:k1]·l[j0:j1, k0:k1]ᵀ,
-// touching only the lower triangle when the (i,j) block is diagonal.
+// touching only the lower triangle when the (i,j) block is diagonal. Row
+// pairs share each l[j, k0:k1] load via dotPair, which accumulates exactly
+// like two Dot calls, so the result is unchanged.
 func gemmUpdate(l *Matrix, i0, i1, j0, j1, k0, k1 int) {
 	n := l.Cols
-	for i := i0; i < i1; i++ {
-		ri := l.Data[i*n:]
-		jmax := j1
+	rowMax := func(i int) int {
 		if j0 <= i && i < j1 {
-			jmax = i + 1 // diagonal block: lower triangle only
+			return i + 1 // diagonal block: lower triangle only
 		}
-		for j := j0; j < jmax; j++ {
+		return j1
+	}
+	i := i0
+	for ; i+1 < i1; i += 2 {
+		ra := l.Data[i*n:]
+		rb := l.Data[(i+1)*n:]
+		rak := ra[k0:k1]
+		rbk := rb[k0:k1]
+		jmaxA := rowMax(i)
+		jmaxB := rowMax(i + 1) // ≥ jmaxA always
+		j := j0
+		for ; j < jmaxA; j++ {
 			rj := l.Data[j*n:]
-			s := 0.0
-			for k := k0; k < k1; k++ {
-				s += ri[k] * rj[k]
-			}
-			ri[j] -= s
+			sa, sb := dotPair(rj[k0:k1], rak, rbk)
+			ra[j] -= sa
+			rb[j] -= sb
+		}
+		for ; j < jmaxB; j++ {
+			rb[j] -= Dot(rbk, l.Data[j*n:][k0:k1])
+		}
+	}
+	for ; i < i1; i++ {
+		ri := l.Data[i*n:]
+		rik := ri[k0:k1]
+		jmax := rowMax(i)
+		for j := j0; j < jmax; j++ {
+			ri[j] -= Dot(rik, l.Data[j*n:][k0:k1])
 		}
 	}
 }
 
 // parallelBlocks runs fn(i) for i in [lo, hi) distributed over nworkers
 // goroutines. It is a barrier: all iterations complete before it returns.
+// The work here is pure CPU, so nworkers is capped at GOMAXPROCS — extra
+// goroutines would only add scheduling overhead (results are identical for
+// any worker count by construction).
 func parallelBlocks(lo, hi, nworkers int, fn func(int)) {
 	count := hi - lo
 	if count <= 0 {
 		return
+	}
+	if p := runtime.GOMAXPROCS(0); nworkers > p {
+		nworkers = p
 	}
 	if nworkers > count {
 		nworkers = count

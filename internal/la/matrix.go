@@ -221,16 +221,60 @@ func MaxAbsDiff(a, b *Matrix) float64 {
 	return d
 }
 
-// Dot returns the inner product of two equal-length vectors.
+// Dot returns the inner product of two equal-length vectors. The
+// accumulation is 4-way unrolled: independent partial sums break the
+// floating-point add dependency chain, which roughly triples throughput on
+// long vectors (the Cholesky, inverse, and prediction hot loops are all
+// dot-product bound).
 func Dot(a, b []float64) float64 {
 	if len(a) != len(b) {
 		panic("la: Dot length mismatch")
 	}
-	s := 0.0
-	for i, v := range a {
-		s += v * b[i]
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		aa := a[i : i+4 : i+4]
+		bb := b[i : i+4 : i+4]
+		s0 += aa[0] * bb[0]
+		s1 += aa[1] * bb[1]
+		s2 += aa[2] * bb[2]
+		s3 += aa[3] * bb[3]
 	}
-	return s
+	for ; i < len(a); i++ {
+		s0 += a[i] * b[i]
+	}
+	return (s0 + s2) + (s1 + s3)
+}
+
+// dotPair returns (a·b0, a·b1) in a single pass over a, with the same 4-way
+// unrolled independent-accumulator scheme as Dot for each product. Fusing the
+// two products loads the shared operand a once, which matters in the
+// memory-bound triangular-inverse phases that dominate the LCM gradient.
+func dotPair(a, b0, b1 []float64) (float64, float64) {
+	if len(a) != len(b0) || len(a) != len(b1) {
+		panic("la: dotPair length mismatch")
+	}
+	var s00, s01, s02, s03 float64
+	var s10, s11, s12, s13 float64
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		aa := a[i : i+4 : i+4]
+		x := b0[i : i+4 : i+4]
+		y := b1[i : i+4 : i+4]
+		s00 += aa[0] * x[0]
+		s10 += aa[0] * y[0]
+		s01 += aa[1] * x[1]
+		s11 += aa[1] * y[1]
+		s02 += aa[2] * x[2]
+		s12 += aa[2] * y[2]
+		s03 += aa[3] * x[3]
+		s13 += aa[3] * y[3]
+	}
+	for ; i < len(a); i++ {
+		s00 += a[i] * b0[i]
+		s10 += a[i] * b1[i]
+	}
+	return (s00 + s02) + (s01 + s03), (s10 + s12) + (s11 + s13)
 }
 
 // Axpy computes y += alpha*x in place.

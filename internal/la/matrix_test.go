@@ -3,6 +3,7 @@ package la
 import (
 	"math"
 	"math/rand"
+	"runtime"
 	"testing"
 	"testing/quick"
 )
@@ -211,6 +212,9 @@ func TestLogDetFromChol(t *testing.T) {
 // Property: parallel blocked Cholesky agrees with the serial one for random
 // SPD matrices across block sizes and worker counts.
 func TestParallelCholeskyMatchesSerial(t *testing.T) {
+	// parallelBlocks caps workers at GOMAXPROCS; raise it so the w>1 cases
+	// genuinely run concurrently even on a 1-CPU machine.
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(8))
 	rng := rand.New(rand.NewSource(6))
 	for _, n := range []int{5, 31, 64, 97, 130} {
 		a := randomSPD(rng, n)

@@ -15,6 +15,7 @@ package mpx
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 )
 
@@ -178,6 +179,46 @@ func ParallelFor(n, workers int, fn func(i int)) {
 		}()
 	}
 	wg.Wait()
+}
+
+// ParallelChunks splits [0, n) into fixed-size chunks of chunk elements and
+// runs fn(chunkIndex, lo, hi) for each on up to workers goroutines. The
+// partition depends only on n and chunk — never on workers — so callers that
+// keep per-chunk accumulators and merge them in chunk-index order get
+// bitwise-identical results for every worker count. This is the backbone of
+// the deterministic parallel reductions in the modeling phase (Section 4.3).
+func ParallelChunks(n, chunk, workers int, fn func(c, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if chunk <= 0 {
+		chunk = 1
+	}
+	nc := (n + chunk - 1) / chunk
+	// Chunk reductions are pure CPU: more workers than GOMAXPROCS only adds
+	// scheduling overhead (the result is worker-count independent anyway).
+	if p := runtime.GOMAXPROCS(0); workers > p {
+		workers = p
+	}
+	ParallelFor(nc, workers, func(c int) {
+		lo := c * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		fn(c, lo, hi)
+	})
+}
+
+// NumChunks returns the chunk count ParallelChunks uses for (n, chunk).
+func NumChunks(n, chunk int) int {
+	if n <= 0 {
+		return 0
+	}
+	if chunk <= 0 {
+		chunk = 1
+	}
+	return (n + chunk - 1) / chunk
 }
 
 // Map applies fn to every input on up to workers goroutines, preserving
