@@ -1,0 +1,95 @@
+// Command gptlint enforces the repo's determinism and concurrency
+// invariants (DESIGN.md §7): no global math/rand, no wall-clock reads in
+// the numeric core, no map-range accumulation, no goroutines outside
+// internal/mpx, no float ==, no dropped errors. Built entirely on the
+// stdlib toolchain — go/parser, go/types, go/importer — per the repo's
+// stdlib-only rule.
+//
+// Usage:
+//
+//	gptlint [-json] [-C dir] [-numeric paths] [-goallow paths] [patterns...]
+//
+// Patterns default to ./... and are resolved against the enclosing module.
+// Exit status: 0 clean, 1 diagnostics reported, 2 load/type-check failure.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array")
+	chdir := flag.String("C", "", "resolve patterns against this directory's module instead of the cwd's")
+	numeric := flag.String("numeric", "", "comma-separated import paths treated as the deterministic numeric core (default: the repo's gp,la,core,opt,acq,sample,sparse)")
+	goallow := flag.String("goallow", "", "comma-separated import paths allowed to contain go statements (default: the repo's internal/mpx)")
+	flag.Parse()
+
+	dir := *chdir
+	if dir == "" {
+		dir = "."
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	loader, err := lint.NewLoader(dir)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := lint.DefaultConfig(loader.Module)
+	if *numeric != "" {
+		cfg.NumericPackages = splitList(*numeric)
+	}
+	if *goallow != "" {
+		cfg.GoroutineAllowed = splitList(*goallow)
+	}
+
+	pkgs, err := loader.Load(patterns)
+	if err != nil {
+		fatal(err)
+	}
+	diags := lint.Run(pkgs, cfg)
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []lint.Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			fatal(err)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+		if len(diags) > 0 {
+			fmt.Fprintf(os.Stderr, "gptlint: %d problem(s) in %d package(s)\n", len(diags), len(pkgs))
+		}
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gptlint:", err)
+	os.Exit(2)
+}

@@ -115,7 +115,7 @@ func Hypervolume(front [][]float64, ref []float64) float64 {
 		return 0
 	}
 	sort.Slice(pts, func(i, j int) bool {
-		if pts[i][0] != pts[j][0] {
+		if pts[i][0] != pts[j][0] { //gptlint:ignore float-eq sort tie-break; exact comparison only picks a stable order for equal coordinates
 			return pts[i][0] < pts[j][0]
 		}
 		return pts[i][1] < pts[j][1]

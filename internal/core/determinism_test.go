@@ -1,0 +1,81 @@
+package core
+
+import (
+	"math"
+	"runtime"
+	"testing"
+)
+
+// runSeeded runs the analytical MLA benchmark at a fixed seed with the given
+// worker count and GOMAXPROCS, returning the full tuning history.
+func runSeeded(t *testing.T, workers, procs int) *Result {
+	t.Helper()
+	prev := runtime.GOMAXPROCS(procs)
+	defer runtime.GOMAXPROCS(prev)
+	res, err := Run(analyticalProblem(), [][]float64{{0}, {1.5}, {3}}, Options{
+		EpsTot:  12,
+		Seed:    42,
+		Workers: workers,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestMLADeterministicAcrossWorkers is the dynamic half of the determinism
+// contract that gptlint enforces statically: the tuner's entire history —
+// every configuration visited and every objective value recorded, for every
+// task — must be bitwise identical regardless of how many goroutines the
+// run is spread across. Any scheduler-order dependence (unsynchronized
+// reduction order, map iteration leaking into results, wall-clock branching)
+// shows up here as a Float64bits mismatch.
+func TestMLADeterministicAcrossWorkers(t *testing.T) {
+	serial := runSeeded(t, 1, 1)
+	parallel := runSeeded(t, 8, 8)
+
+	if len(serial.Tasks) != len(parallel.Tasks) {
+		t.Fatalf("task count differs: %d vs %d", len(serial.Tasks), len(parallel.Tasks))
+	}
+	for ti := range serial.Tasks {
+		s, p := serial.Tasks[ti], parallel.Tasks[ti]
+		if len(s.X) != len(p.X) || len(s.Y) != len(p.Y) {
+			t.Fatalf("task %d: history length differs: %d/%d vs %d/%d",
+				ti, len(s.X), len(s.Y), len(p.X), len(p.Y))
+		}
+		for i := range s.X {
+			for d := range s.X[i] {
+				if math.Float64bits(s.X[i][d]) != math.Float64bits(p.X[i][d]) {
+					t.Errorf("task %d sample %d dim %d: X differs: %v vs %v",
+						ti, i, d, s.X[i][d], p.X[i][d])
+				}
+			}
+			for k := range s.Y[i] {
+				if math.Float64bits(s.Y[i][k]) != math.Float64bits(p.Y[i][k]) {
+					t.Errorf("task %d sample %d output %d: Y differs: %v vs %v",
+						ti, i, k, s.Y[i][k], p.Y[i][k])
+				}
+			}
+		}
+	}
+}
+
+// TestMLADeterministicRepeatedRun guards the weaker (but independently
+// violable) invariant that two identical invocations in the same process
+// agree — catching state leaks through package-level variables or
+// iteration-order randomization even when worker scheduling happens to
+// align.
+func TestMLADeterministicRepeatedRun(t *testing.T) {
+	a := runSeeded(t, 4, runtime.GOMAXPROCS(0))
+	b := runSeeded(t, 4, runtime.GOMAXPROCS(0))
+	for ti := range a.Tasks {
+		sa, sb := a.Tasks[ti], b.Tasks[ti]
+		for i := range sa.X {
+			for d := range sa.X[i] {
+				if math.Float64bits(sa.X[i][d]) != math.Float64bits(sb.X[i][d]) {
+					t.Fatalf("task %d sample %d: repeated run diverged", ti, i)
+				}
+			}
+		}
+	}
+}

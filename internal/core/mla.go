@@ -6,7 +6,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"time"
+	"sync/atomic"
 
 	"repro/internal/acq"
 	"repro/internal/gp"
@@ -36,7 +36,7 @@ func RunContext(ctx context.Context, p *Problem, tasks [][]float64, options Opti
 		return nil, errors.New("core: no tasks given")
 	}
 	options.defaults()
-	start := time.Now()
+	start := options.now()
 
 	st := &state{
 		p:     p,
@@ -62,13 +62,13 @@ func RunContext(ctx context.Context, p *Problem, tasks [][]float64, options Opti
 	for st.minDone() < options.EpsTot {
 		if err := ctx.Err(); err != nil {
 			res := st.partialResult()
-			res.Stats.Total = time.Since(start)
+			res.Stats.Total = options.since(start)
 			return res, err
 		}
 		if p.Model != nil && options.FitModelCoeffs && len(st.coeffs) > 0 {
-			t0 := time.Now()
+			t0 := options.now()
 			st.fitModelCoeffs()
-			st.stats.ModelUpdate += time.Since(t0)
+			st.stats.ModelUpdate += options.since(t0)
 		}
 		var err error
 		if gamma == 1 {
@@ -82,13 +82,16 @@ func RunContext(ctx context.Context, p *Problem, tasks [][]float64, options Opti
 	}
 
 	res := st.partialResult()
-	st.stats.Total = time.Since(start)
+	st.stats.Total = options.since(start)
 	res.Stats = st.stats
 	return res, nil
 }
 
-// partialResult packages whatever has been observed so far.
+// partialResult packages whatever has been observed so far. Called only
+// from the coordinating goroutine, after any parallel evaluation batch has
+// joined.
 func (st *state) partialResult() *Result {
+	st.stats.NumEvals = int(st.evals.Load())
 	res := &Result{Tasks: make([]TaskResult, len(st.tasks)), Stats: st.stats}
 	for i := range st.tasks {
 		tr := TaskResult{Task: st.tasks[i], X: st.X[i], Y: st.Y[i]}
@@ -112,6 +115,7 @@ type state struct {
 	done   []int         // evaluations performed this run, per task (priors excluded)
 	coeffs []float64     // performance-model coefficients
 	stats  PhaseStats
+	evals  atomic.Int64 // objective evaluations; mutated from worker goroutines
 	rng    *rand.Rand
 }
 
@@ -153,7 +157,7 @@ func equalVec(a, b []float64) bool {
 		return false
 	}
 	for i := range a {
-		if a[i] != b[i] {
+		if a[i] != b[i] { //gptlint:ignore float-eq exact task-vector match routes prior samples; values are stored, never computed
 			return false
 		}
 	}
@@ -194,16 +198,16 @@ func (st *state) initialSampling() error {
 			jobs = append(jobs, job{task: i, x: x})
 		}
 	}
-	t0 := time.Now()
+	t0 := st.opts.now()
 	type outcome struct {
 		x []float64
 		y []float64
 	}
 	results, errs := mpx.Map(jobs, st.opts.Workers, func(j job) (outcome, error) {
-		x, y, err := st.evalWithRetry(j.task, j.x, rand.New(rand.NewSource(st.opts.Seed^hash2(j.task, len(jobs))))) //nolint
+		x, y, err := st.evalWithRetry(j.task, j.x, rand.New(rand.NewSource(st.opts.Seed^hash2(j.task, len(jobs)))))
 		return outcome{x: x, y: y}, err
 	})
-	st.stats.Objective += time.Since(t0)
+	st.stats.Objective += st.opts.since(t0)
 	for k, j := range jobs {
 		if errs[k] != nil {
 			return fmt.Errorf("core: evaluating task %d: %w", j.task, errs[k])
@@ -261,7 +265,7 @@ func (st *state) evalRepeated(t, x []float64) ([]float64, error) {
 			}
 		}
 	}
-	st.stats.NumEvals += st.opts.Repeats
+	st.evals.Add(int64(st.opts.Repeats))
 	return best, nil
 }
 
@@ -456,7 +460,7 @@ func defaultFitCoeffs(m *PerfModel, tasks, xs [][]float64, ys []float64, current
 func (st *state) iterateSingle() error {
 	fs := st.buildFeatureScale()
 
-	t0 := time.Now()
+	t0 := st.opts.now()
 	data, tv := st.buildDataset(0, fs)
 	model, err := gp.FitLCM(data, gp.FitOptions{
 		Q:         st.opts.Q,
@@ -465,7 +469,7 @@ func (st *state) iterateSingle() error {
 		MaxIter:   st.opts.ModelMaxIter,
 		Seed:      st.opts.Seed + int64(st.minSamples()),
 	})
-	st.stats.Modeling += time.Since(t0)
+	st.stats.Modeling += st.opts.since(t0)
 	if err != nil {
 		return fmt.Errorf("core: modeling phase: %w", err)
 	}
@@ -473,15 +477,15 @@ func (st *state) iterateSingle() error {
 	// Search phase: per task, maximize the acquisition over the feasible
 	// tuning space (BatchEvals configurations per task, spread by distance
 	// penalization).
-	t1 := time.Now()
+	t1 := st.opts.now()
 	newX := make([][][]float64, len(st.tasks))
 	mpx.ParallelFor(len(st.tasks), st.opts.Workers, func(i int) {
 		newX[i] = st.searchBatch(i, model, tv, fs)
 	})
-	st.stats.Search += time.Since(t1)
+	st.stats.Search += st.opts.since(t1)
 
 	// Evaluate the new configurations concurrently (Section 4.2).
-	t2 := time.Now()
+	t2 := st.opts.now()
 	type job struct{ task, slot int }
 	var jobs []job
 	for i := range newX {
@@ -497,7 +501,7 @@ func (st *state) iterateSingle() error {
 		x, y, err := st.evalWithRetry(j.task, newX[j.task][j.slot], rng)
 		return outcome{x: x, y: y}, err
 	})
-	st.stats.Objective += time.Since(t2)
+	st.stats.Objective += st.opts.since(t2)
 	for k, j := range jobs {
 		if errs[k] != nil {
 			return errs[k]
@@ -527,8 +531,8 @@ func (st *state) acquisition(mu, variance, yBest float64) float64 {
 func (st *state) searchBatch(i int, model *gp.LCM, tv func(float64) float64, fs *featureScale) [][]float64 {
 	k := st.opts.BatchEvals
 	ws := model.NewPredictWorkspace() // one per task goroutine; reused by every acquisition call
-	var chosen [][]float64     // native
-	var chosenNorm [][]float64 // normalized, for the penalty
+	var chosen [][]float64            // native
+	var chosenNorm [][]float64        // normalized, for the penalty
 	for b := 0; b < k; b++ {
 		x := st.searchOne(i, model, ws, tv, fs, chosenNorm, int64(b))
 		if x == nil {
@@ -622,7 +626,7 @@ func (st *state) isDuplicate(i int, x []float64) bool {
 	for _, prev := range st.X[i] {
 		same := true
 		for d := range x {
-			if prev[d] != x[d] {
+			if prev[d] != x[d] { //gptlint:ignore float-eq exact duplicate detection on stored configurations
 				same = false
 				break
 			}

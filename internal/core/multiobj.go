@@ -5,7 +5,6 @@ import (
 	"math"
 	"math/rand"
 	"sort"
-	"time"
 
 	"repro/internal/acq"
 	"repro/internal/gp"
@@ -22,7 +21,7 @@ func (st *state) iterateMulti() error {
 	gamma := st.p.Outputs.Dim()
 	fs := st.buildFeatureScale()
 
-	t0 := time.Now()
+	t0 := st.opts.now()
 	models := make([]*gp.LCM, gamma)
 	transforms := make([]func(float64) float64, gamma)
 	for s := 0; s < gamma; s++ {
@@ -40,16 +39,16 @@ func (st *state) iterateMulti() error {
 		models[s] = model
 		transforms[s] = tv
 	}
-	st.stats.Modeling += time.Since(t0)
+	st.stats.Modeling += st.opts.since(t0)
 
-	t1 := time.Now()
+	t1 := st.opts.now()
 	newX := make([][][]float64, len(st.tasks)) // [task][batch] native configs
 	mpx.ParallelFor(len(st.tasks), st.opts.Workers, func(i int) {
 		newX[i] = st.searchMO(i, models, transforms, fs)
 	})
-	st.stats.Search += time.Since(t1)
+	st.stats.Search += st.opts.since(t1)
 
-	t2 := time.Now()
+	t2 := st.opts.now()
 	type job struct{ task, slot int }
 	var jobs []job
 	for i := range newX {
@@ -63,7 +62,7 @@ func (st *state) iterateMulti() error {
 		x, y, err := st.evalWithRetry(j.task, newX[j.task][j.slot], rng)
 		return outcome{x: x, y: y}, err
 	})
-	st.stats.Objective += time.Since(t2)
+	st.stats.Objective += st.opts.since(t2)
 	for k, j := range jobs {
 		if errs[k] != nil {
 			return errs[k]
@@ -172,7 +171,7 @@ func containsConfig(list [][]float64, x []float64) bool {
 	for _, prev := range list {
 		same := true
 		for d := range x {
-			if prev[d] != x[d] {
+			if prev[d] != x[d] { //gptlint:ignore float-eq exact duplicate detection on stored configurations
 				same = false
 				break
 			}

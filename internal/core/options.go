@@ -63,6 +63,12 @@ type Options struct {
 	// Seed makes runs reproducible.
 	Seed int64
 
+	// Clock overrides the wall clock behind PhaseStats (useful for tests
+	// and simulation). nil means the real clock. Tuning results never read
+	// it — it feeds only the timing telemetry, which is why it is the one
+	// sanctioned wall-clock touchpoint in this package (gptlint R2).
+	Clock func() time.Time
+
 	// FitModelCoeffs enables the Section 3.3 "performance model update
 	// phase": before each modeling phase, the model coefficients are
 	// re-fitted against observed data. Requires Problem.Model.
@@ -114,6 +120,19 @@ func (o *Options) defaults() {
 		o.MOPopSize = 40
 	}
 }
+
+// now reads the injected clock, falling back to the real one. The fallback
+// is the single wall-clock read in the numeric core; everything in this
+// package times phases through it.
+func (o *Options) now() time.Time {
+	if o.Clock != nil {
+		return o.Clock()
+	}
+	return time.Now() //gptlint:ignore no-wallclock PhaseStats telemetry only; tuning results never depend on the clock
+}
+
+// since is time.Since against the injected clock.
+func (o *Options) since(t0 time.Time) time.Duration { return o.now().Sub(t0) }
 
 // PhaseStats records wall time per MLA phase, matching the paper's Table 3
 // breakdown ("total, objective, modeling, search").

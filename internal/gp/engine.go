@@ -225,7 +225,7 @@ func (e *lcmEngine) logLikGrad(theta []float64) (float64, []float64, error) {
 				}
 				for d := 0; d < dim; d++ {
 					sd := sqAll[sqOff+d]
-					if sd == 0 {
+					if sd == 0 { //gptlint:ignore float-eq exact-zero sparsity skip; zero distance contributes exactly zero gradient
 						continue
 					}
 					for q := 0; q < Q; q++ {

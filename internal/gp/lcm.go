@@ -5,9 +5,9 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"sync"
 
 	"repro/internal/la"
+	"repro/internal/mpx"
 	"repro/internal/opt"
 )
 
@@ -197,16 +197,12 @@ func FitLCM(data *Dataset, options FitOptions) (*LCM, error) {
 		ll    float64
 	}
 	results := make([]fitResult, options.NumStarts)
-	var wg sync.WaitGroup
-	starts := make(chan int, options.NumStarts)
-	for s := 0; s < options.NumStarts; s++ {
-		starts <- s
-	}
-	close(starts)
 	// Split the worker budget: restarts first (they are embarrassingly
 	// parallel), leftover workers parallelize inside each evaluation. The
 	// fitted model is identical for every split — the engine's reductions
-	// are worker-count independent.
+	// are worker-count independent, and each start depends only on its own
+	// seed, never on which chunk ran it. One engine per chunk keeps the
+	// per-worker buffer reuse of the old hand-rolled pool.
 	restartWorkers := options.Workers
 	if restartWorkers > options.NumStarts {
 		restartWorkers = options.NumStarts
@@ -215,34 +211,30 @@ func FitLCM(data *Dataset, options FitOptions) (*LCM, error) {
 	if innerWorkers < 1 {
 		innerWorkers = 1
 	}
-	wg.Add(restartWorkers)
-	for w := 0; w < restartWorkers; w++ {
-		go func() {
-			defer wg.Done()
-			eng := newLCMEngine(cache, layout, taskOf, yn, innerWorkers, options.CholBlock)
-			eval := func(theta []float64, grad []float64) float64 {
-				ll, g, err := eng.logLikGrad(theta)
-				if err != nil {
-					// Indefinite covariance even after jitter: reject the region.
-					for i := range grad {
-						grad[i] = 0
-					}
-					return math.Inf(1)
-				}
+	chunk := (options.NumStarts + restartWorkers - 1) / restartWorkers
+	mpx.ParallelChunks(options.NumStarts, chunk, restartWorkers, func(_, lo, hi int) {
+		eng := newLCMEngine(cache, layout, taskOf, yn, innerWorkers, options.CholBlock)
+		eval := func(theta []float64, grad []float64) float64 {
+			ll, g, err := eng.logLikGrad(theta)
+			if err != nil {
+				// Indefinite covariance even after jitter: reject the region.
 				for i := range grad {
-					grad[i] = -g[i]
+					grad[i] = 0
 				}
-				return -ll
+				return math.Inf(1)
 			}
-			for s := range starts {
-				rng := rand.New(rand.NewSource(options.Seed + int64(s)*7919 + 1))
-				theta0 := randomInit(layout, rng)
-				res := opt.LBFGS(eval, theta0, opt.LBFGSParams{MaxIter: options.MaxIter})
-				results[s] = fitResult{theta: res.X, ll: -res.F}
+			for i := range grad {
+				grad[i] = -g[i]
 			}
-		}()
-	}
-	wg.Wait()
+			return -ll
+		}
+		for s := lo; s < hi; s++ {
+			rng := rand.New(rand.NewSource(options.Seed + int64(s)*7919 + 1))
+			theta0 := randomInit(layout, rng)
+			res := opt.LBFGS(eval, theta0, opt.LBFGSParams{MaxIter: options.MaxIter})
+			results[s] = fitResult{theta: res.X, ll: -res.F}
+		}
+	})
 
 	best := -1
 	for s := range results {
@@ -356,7 +348,7 @@ func (m *LCM) covariance(flatX [][]float64, taskOf []int) *la.Matrix {
 				if ti == tj {
 					coef += m.B[q][ti]
 				}
-				if coef != 0 {
+				if coef != 0 { //gptlint:ignore float-eq exact-zero sparsity skip in covariance assembly
 					v += coef * rbf(flatX[r], flatX[s], m.Ls[q])
 				}
 			}
@@ -386,7 +378,7 @@ func (m *LCM) Predict(task int, x []float64) (mean, variance float64) {
 			if task == tr {
 				coef += m.B[q][task]
 			}
-			if coef != 0 {
+			if coef != 0 { //gptlint:ignore float-eq exact-zero sparsity skip in cross-covariance
 				v += coef * rbf(x, m.flatX[r], m.Ls[q])
 			}
 		}
@@ -422,7 +414,7 @@ func parallelCholJitter(a *la.Matrix, block, workers int) (*la.Matrix, float64, 
 	if n > 0 {
 		meanDiag /= float64(n)
 	}
-	if meanDiag == 0 {
+	if meanDiag == 0 { //gptlint:ignore float-eq exact-zero guard before using the mean diagonal as a jitter scale
 		meanDiag = 1
 	}
 	jitter := 0.0
@@ -438,7 +430,7 @@ func parallelCholJitter(a *la.Matrix, block, workers int) (*la.Matrix, float64, 
 		if err == nil {
 			return l, jitter, nil
 		}
-		if jitter == 0 {
+		if jitter == 0 { //gptlint:ignore float-eq jitter holds exact assigned constants; zero is the unset sentinel
 			jitter = 1e-10 * meanDiag
 		} else {
 			jitter *= 10

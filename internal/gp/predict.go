@@ -109,7 +109,7 @@ func (m *LCM) kstarInto(ws *PredictWorkspace, task int, x []float64) []float64 {
 		coefRow := coefs[r*Q : (r+1)*Q]
 		v := 0.0
 		for q, c := range coefRow {
-			if c == 0 {
+			if c == 0 { //gptlint:ignore float-eq exact-zero coefficient skip in the prediction fast path
 				continue
 			}
 			acc := 0.0

@@ -75,7 +75,7 @@ func lcmLogLikGradReference(theta []float64, layout hyperLayout, flatX [][]float
 			for s := 0; s < n; s++ {
 				ts := taskOf[s]
 				mk := mm.At(r, s) * kq[q].At(r, s)
-				if mk == 0 {
+				if mk == 0 { //gptlint:ignore float-eq frozen pre-parallelization oracle; exact-zero skip must match historic numerics
 					continue
 				}
 				coef := aq[tr] * aq[ts]
@@ -83,11 +83,11 @@ func lcmLogLikGradReference(theta []float64, layout hyperLayout, flatX [][]float
 					coef += bq[tr]
 				}
 				// Lengthscales (log-space chain rule: ×1/l² instead of 1/l³·l).
-				if coef != 0 {
+				if coef != 0 { //gptlint:ignore float-eq frozen pre-parallelization oracle; exact-zero skip must match historic numerics
 					base := 0.5 * mk * coef
 					for d := 0; d < layout.dim; d++ {
 						diff2 := sqDiff(flatX[r], flatX[s], d)
-						if diff2 != 0 {
+						if diff2 != 0 { //gptlint:ignore float-eq frozen pre-parallelization oracle; exact-zero skip must match historic numerics
 							grad[layout.lsAt(q, d)] += base * diff2 / (lsq[d] * lsq[d])
 						}
 					}
@@ -147,7 +147,7 @@ func refCholeskyJitter(a *la.Matrix) (*la.Matrix, error) {
 	if n > 0 {
 		meanDiag /= float64(n)
 	}
-	if meanDiag == 0 {
+	if meanDiag == 0 { //gptlint:ignore float-eq frozen oracle; exact-zero guard before jitter scaling
 		meanDiag = 1
 	}
 	jitter := 0.0
@@ -163,7 +163,7 @@ func refCholeskyJitter(a *la.Matrix) (*la.Matrix, error) {
 		if err == nil {
 			return l, nil
 		}
-		if jitter == 0 {
+		if jitter == 0 { //gptlint:ignore float-eq frozen oracle; zero is the unset jitter sentinel
 			jitter = 1e-10 * meanDiag
 		} else {
 			jitter *= 10

@@ -4,7 +4,8 @@ import (
 	"errors"
 	"math"
 	"runtime"
-	"sync"
+
+	"repro/internal/mpx"
 )
 
 // ErrNotPositiveDefinite is returned by the Cholesky factorizations when a
@@ -56,7 +57,7 @@ func CholeskyJitter(a *Matrix, initial float64) (*Matrix, float64, error) {
 	if n > 0 {
 		meanDiag /= float64(n)
 	}
-	if meanDiag == 0 {
+	if meanDiag == 0 { //gptlint:ignore float-eq exact-zero guard before using the mean diagonal as a jitter scale
 		meanDiag = 1
 	}
 	jitter := 0.0
@@ -72,7 +73,7 @@ func CholeskyJitter(a *Matrix, initial float64) (*Matrix, float64, error) {
 		if err == nil {
 			return l, jitter, nil
 		}
-		if jitter == 0 {
+		if jitter == 0 { //gptlint:ignore float-eq jitter holds exact assigned constants; zero is the unset sentinel
 			jitter = initial * meanDiag
 		} else {
 			jitter *= 10
@@ -396,11 +397,10 @@ func gemmUpdate(l *Matrix, i0, i1, j0, j1, k0, k1 int) {
 	}
 }
 
-// parallelBlocks runs fn(i) for i in [lo, hi) distributed over nworkers
-// goroutines. It is a barrier: all iterations complete before it returns.
-// The work here is pure CPU, so nworkers is capped at GOMAXPROCS — extra
-// goroutines would only add scheduling overhead (results are identical for
-// any worker count by construction).
+// parallelBlocks runs fn(i) for i in [lo, hi) on the mpx worker pool and
+// waits for all iterations (results are identical for any worker count by
+// construction). The work is pure CPU, so nworkers is capped at GOMAXPROCS
+// — extra goroutines would only add scheduling overhead.
 func parallelBlocks(lo, hi, nworkers int, fn func(int)) {
 	count := hi - lo
 	if count <= 0 {
@@ -409,29 +409,5 @@ func parallelBlocks(lo, hi, nworkers int, fn func(int)) {
 	if p := runtime.GOMAXPROCS(0); nworkers > p {
 		nworkers = p
 	}
-	if nworkers > count {
-		nworkers = count
-	}
-	if nworkers <= 1 {
-		for i := lo; i < hi; i++ {
-			fn(i)
-		}
-		return
-	}
-	var wg sync.WaitGroup
-	next := make(chan int, count)
-	for i := lo; i < hi; i++ {
-		next <- i
-	}
-	close(next)
-	wg.Add(nworkers)
-	for w := 0; w < nworkers; w++ {
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				fn(i)
-			}
-		}()
-	}
-	wg.Wait()
+	mpx.ParallelFor(count, nworkers, func(i int) { fn(lo + i) })
 }

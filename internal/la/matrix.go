@@ -111,7 +111,7 @@ func (m *Matrix) MulVecT(x []float64) []float64 {
 	y := make([]float64, m.Cols)
 	for i := 0; i < m.Rows; i++ {
 		xi := x[i]
-		if xi == 0 {
+		if xi == 0 { //gptlint:ignore float-eq exact-zero sparsity skip; any nonzero takes the full multiply
 			continue
 		}
 		ri := m.Row(i)
@@ -132,7 +132,7 @@ func MatMul(a, b *Matrix) *Matrix {
 		ci := c.Row(i)
 		ai := a.Row(i)
 		for k, aik := range ai {
-			if aik == 0 {
+			if aik == 0 { //gptlint:ignore float-eq exact-zero sparsity skip; any nonzero takes the full multiply
 				continue
 			}
 			bk := b.Row(k)
@@ -154,7 +154,7 @@ func MatMulTransA(a, b *Matrix) *Matrix {
 		ak := a.Row(k)
 		bk := b.Row(k)
 		for i, aki := range ak {
-			if aki == 0 {
+			if aki == 0 { //gptlint:ignore float-eq exact-zero sparsity skip; any nonzero takes the full multiply
 				continue
 			}
 			ci := c.Row(i)
@@ -292,7 +292,7 @@ func Norm2(x []float64) float64 {
 	// Scaled accumulation for overflow safety.
 	scale, ssq := 0.0, 1.0
 	for _, v := range x {
-		if v == 0 {
+		if v == 0 { //gptlint:ignore float-eq exact-zero skip keeps the scaled norm accumulation well-defined
 			continue
 		}
 		a := math.Abs(v)

@@ -1,0 +1,194 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Rule names, stable identifiers used in diagnostics, //gptlint:ignore
+// comments, and golden-file expectations.
+const (
+	RuleGlobalRand     = "no-global-rand"      // R1
+	RuleWallclock      = "no-wallclock"        // R2
+	RuleMapRange       = "no-map-range"        // R3
+	RuleStrayGoroutine = "no-stray-goroutines" // R4
+	RuleFloatEq        = "float-eq"            // R5
+	RuleUncheckedError = "unchecked-error"     // R6
+
+	// Meta rules emitted by the ignore-contract checker itself.
+	RuleBadIgnore    = "bad-ignore"
+	RuleUnusedIgnore = "unused-ignore"
+)
+
+// knownRules is the set of rule names an ignore comment may name.
+var knownRules = map[string]bool{
+	RuleGlobalRand:     true,
+	RuleWallclock:      true,
+	RuleMapRange:       true,
+	RuleStrayGoroutine: true,
+	RuleFloatEq:        true,
+	RuleUncheckedError: true,
+}
+
+// Diagnostic is one reported violation.
+type Diagnostic struct {
+	File string `json:"file"`
+	Line int    `json:"line"`
+	Col  int    `json:"col"`
+	Rule string `json:"rule"`
+	Msg  string `json:"msg"`
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.File, d.Line, d.Col, d.Rule, d.Msg)
+}
+
+// Config scopes the rules. R1 (no-global-rand) applies to every analyzed
+// package; R4 (no-stray-goroutines) to every package not in GoroutineAllowed;
+// R2/R3/R5/R6 only to the NumericPackages — the deterministic numeric core
+// whose outputs must be bitwise reproducible.
+type Config struct {
+	// NumericPackages are the import paths where the determinism rules
+	// (no-wallclock, no-map-range, float-eq, unchecked-error) apply.
+	NumericPackages []string
+	// GoroutineAllowed are the import paths permitted to contain go
+	// statements (the mpx worker-pool substrate).
+	GoroutineAllowed []string
+}
+
+func (c *Config) isNumeric(path string) bool { return containsString(c.NumericPackages, path) }
+func (c *Config) allowsGo(path string) bool  { return containsString(c.GoroutineAllowed, path) }
+func containsString(xs []string, s string) bool {
+	for _, x := range xs {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+// DefaultConfig returns the rule scoping for a module laid out like this
+// repo: the numeric core under internal/{gp,la,core,opt,acq,sample,sparse}
+// and all parallelism in internal/mpx.
+func DefaultConfig(modulePath string) Config {
+	numeric := []string{"gp", "la", "core", "opt", "acq", "sample", "sparse"}
+	cfg := Config{}
+	for _, n := range numeric {
+		cfg.NumericPackages = append(cfg.NumericPackages, modulePath+"/internal/"+n)
+	}
+	cfg.GoroutineAllowed = []string{modulePath + "/internal/mpx"}
+	return cfg
+}
+
+// ignoreDirective is one parsed //gptlint:ignore comment.
+type ignoreDirective struct {
+	pos    token.Position
+	rule   string
+	reason string
+	bad    string // non-empty: malformed, with explanation
+	used   bool
+}
+
+const ignorePrefix = "//gptlint:ignore"
+
+// parseIgnores extracts every //gptlint:ignore directive from a file.
+func parseIgnores(fset *token.FileSet, file *ast.File) []*ignoreDirective {
+	var out []*ignoreDirective
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			text, ok := strings.CutPrefix(c.Text, ignorePrefix)
+			if !ok {
+				continue
+			}
+			d := &ignoreDirective{pos: fset.Position(c.Pos())}
+			// A trailing "// ..." inside the comment is commentary about
+			// the directive, not part of the reason.
+			if i := strings.Index(text, "//"); i >= 0 {
+				text = text[:i]
+			}
+			fields := strings.Fields(text)
+			switch {
+			case len(fields) == 0:
+				d.bad = "missing rule name"
+			case !knownRules[fields[0]]:
+				d.bad = fmt.Sprintf("unknown rule %q", fields[0])
+			case len(fields) < 2:
+				d.bad = fmt.Sprintf("ignore for %s has no reason; the contract is //gptlint:ignore <rule> <reason>", fields[0])
+			default:
+				d.rule = fields[0]
+				d.reason = strings.Join(fields[1:], " ")
+			}
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Run applies every rule to every package and enforces the ignore contract:
+// a //gptlint:ignore <rule> <reason> comment on the same line as a
+// violation (or on the line directly above it) suppresses that diagnostic;
+// an ignore that suppresses nothing is itself reported (unused-ignore), as
+// is a malformed one (bad-ignore). Diagnostics come back sorted by
+// file/line/col.
+func Run(pkgs []*Package, cfg Config) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		diags = append(diags, runPackage(pkg, cfg)...)
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		if diags[i].File != diags[j].File {
+			return diags[i].File < diags[j].File
+		}
+		if diags[i].Line != diags[j].Line {
+			return diags[i].Line < diags[j].Line
+		}
+		return diags[i].Col < diags[j].Col
+	})
+	return diags
+}
+
+func runPackage(pkg *Package, cfg Config) []Diagnostic {
+	var out []Diagnostic
+	for _, file := range pkg.Files {
+		raw := checkFile(pkg, file, cfg)
+		ignores := parseIgnores(pkg.Fset, file)
+		// Match raw diagnostics against ignores: same rule, same file,
+		// and the ignore sits on the diagnostic's line or the line above.
+		var kept []Diagnostic
+		for _, d := range raw {
+			suppressed := false
+			for _, ig := range ignores {
+				if ig.bad != "" || ig.rule != d.Rule {
+					continue
+				}
+				if ig.pos.Line == d.Line || ig.pos.Line == d.Line-1 {
+					ig.used = true
+					suppressed = true
+				}
+			}
+			if !suppressed {
+				kept = append(kept, d)
+			}
+		}
+		out = append(out, kept...)
+		for _, ig := range ignores {
+			switch {
+			case ig.bad != "":
+				out = append(out, Diagnostic{
+					File: ig.pos.Filename, Line: ig.pos.Line, Col: ig.pos.Column,
+					Rule: RuleBadIgnore, Msg: ig.bad,
+				})
+			case !ig.used:
+				out = append(out, Diagnostic{
+					File: ig.pos.Filename, Line: ig.pos.Line, Col: ig.pos.Column,
+					Rule: RuleUnusedIgnore,
+					Msg:  fmt.Sprintf("gptlint:ignore %s suppresses nothing; delete it or move it onto the offending line", ig.rule),
+				})
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,195 @@
+package lint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// corpusConfig mirrors the real repo's scoping onto the corpus module:
+// every rule-specific package is "numeric", and mpxok plays internal/mpx.
+func corpusConfig() Config {
+	return Config{
+		NumericPackages: []string{
+			"corpus/wallclock",
+			"corpus/maprange",
+			"corpus/floateq",
+			"corpus/errdrop",
+			"corpus/ignores",
+		},
+		GoroutineAllowed: []string{"corpus/mpxok"},
+	}
+}
+
+// expectation is one parsed `// want "regex"` comment.
+type expectation struct {
+	file    string
+	line    int
+	rx      *regexp.Regexp
+	matched bool
+}
+
+var (
+	wantMarker = "// want "
+	quotedRe   = regexp.MustCompile(`"([^"]*)"`)
+)
+
+// parseWants scans every corpus file for `// want "regex"` comments
+// (several quoted regexes after one marker are several expectations).
+func parseWants(t *testing.T, root string) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			idx := strings.Index(line, wantMarker)
+			if idx < 0 {
+				continue
+			}
+			tail := line[idx+len(wantMarker):]
+			for _, m := range quotedRe.FindAllStringSubmatch(tail, -1) {
+				rx, rerr := regexp.Compile(m[1])
+				if rerr != nil {
+					return fmt.Errorf("%s:%d: bad want regex %q: %v", path, i+1, m[1], rerr)
+				}
+				wants = append(wants, &expectation{file: path, line: i + 1, rx: rx})
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wants
+}
+
+// TestGolden runs the analyzer over the testdata corpus and requires an
+// exact bijection between diagnostics and `// want` expectations: every
+// rule has at least one hit case, clean cases produce nothing, and the
+// ignore contract (suppression, unused-ignore, bad-ignore) holds.
+func TestGolden(t *testing.T) {
+	root := filepath.Join("testdata", "src")
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loader.Module != "corpus" {
+		t.Fatalf("corpus module = %q, want corpus", loader.Module)
+	}
+	pkgs, err := loader.Load([]string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 8 {
+		t.Fatalf("loaded %d corpus packages, want >= 8", len(pkgs))
+	}
+	diags := Run(pkgs, corpusConfig())
+	wants := parseWants(t, root)
+	if len(wants) == 0 {
+		t.Fatal("no // want expectations found in corpus")
+	}
+
+	for _, d := range diags {
+		s := d.Rule + ": " + d.Msg
+		found := false
+		for _, w := range wants {
+			if w.matched || w.line != d.Line || !sameFile(w.file, d.File) {
+				continue
+			}
+			if w.rx.MatchString(s) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.rx)
+		}
+	}
+
+	// Every rule must be exercised by at least one corpus hit.
+	hit := make(map[string]bool)
+	for _, d := range diags {
+		hit[d.Rule] = true
+	}
+	for rule := range knownRules {
+		if !hit[rule] {
+			t.Errorf("rule %s has no hit case in the corpus", rule)
+		}
+	}
+	for _, meta := range []string{RuleBadIgnore, RuleUnusedIgnore} {
+		if !hit[meta] {
+			t.Errorf("meta rule %s has no hit case in the corpus", meta)
+		}
+	}
+}
+
+func sameFile(a, b string) bool {
+	aa, err1 := filepath.Abs(a)
+	bb, err2 := filepath.Abs(b)
+	return err1 == nil && err2 == nil && aa == bb
+}
+
+// TestDefaultConfig pins the production scoping: the seven numeric
+// packages and the single goroutine-bearing package.
+func TestDefaultConfig(t *testing.T) {
+	cfg := DefaultConfig("repro")
+	for _, p := range []string{"gp", "la", "core", "opt", "acq", "sample", "sparse"} {
+		if !cfg.isNumeric("repro/internal/" + p) {
+			t.Errorf("repro/internal/%s not numeric", p)
+		}
+	}
+	if cfg.isNumeric("repro/internal/experiments") {
+		t.Error("experiments must not be numeric (timing lives there)")
+	}
+	if !cfg.allowsGo("repro/internal/mpx") || cfg.allowsGo("repro/internal/gp") {
+		t.Error("goroutine allowlist must be exactly internal/mpx")
+	}
+}
+
+// TestIgnoreParsing covers directive parsing edges that the corpus cannot
+// express line-by-line.
+func TestIgnoreParsing(t *testing.T) {
+	loader, err := NewLoader(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.Load([]string{"./ignores"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("loaded %d packages, want 1", len(pkgs))
+	}
+	igs := parseIgnores(pkgs[0].Fset, pkgs[0].Files[0])
+	if len(igs) != 5 {
+		t.Fatalf("parsed %d ignore directives, want 5", len(igs))
+	}
+	var bad int
+	for _, ig := range igs {
+		if ig.bad != "" {
+			bad++
+			continue
+		}
+		if ig.reason == "" || strings.Contains(ig.reason, "//") {
+			t.Errorf("directive at %v: reason %q should be non-empty and stripped of trailing comments", ig.pos, ig.reason)
+		}
+	}
+	if bad != 2 {
+		t.Errorf("parsed %d malformed directives, want 2", bad)
+	}
+}

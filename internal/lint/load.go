@@ -1,0 +1,292 @@
+// Package lint is gptlint's analysis engine: a from-scratch static
+// analyzer for the repo's determinism and concurrency invariants, built
+// only on the stdlib toolchain (go/parser, go/ast, go/types, go/importer —
+// no golang.org/x/tools). The rules encode the properties PR 1's parallel
+// modeling hot path depends on: no global math/rand, no wall-clock reads
+// in numeric code, no map-iteration-order-dependent accumulation, all
+// goroutines routed through internal/mpx, no float ==, and no silently
+// dropped errors. See DESIGN.md §7.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked, analysis-ready package.
+type Package struct {
+	Path  string // import path, e.g. repro/internal/gp
+	Dir   string // absolute directory
+	Fset  *token.FileSet
+	Files []*ast.File // non-test files only, sorted by filename
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader parses and type-checks packages of a single module. Imports of
+// other packages in the same module are resolved from the loader's own
+// cache (checked on demand); everything else — the stdlib — goes through
+// the source importer, so no compiled export data is required.
+type Loader struct {
+	Root   string // module root (directory containing go.mod)
+	Module string // module path from go.mod
+
+	fset *token.FileSet
+	src  types.ImporterFrom
+	pkgs map[string]*Package // by import path; nil value marks in-progress
+}
+
+// NewLoader locates the module root at or above dir and prepares a loader.
+func NewLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	root, err := findModuleRoot(abs)
+	if err != nil {
+		return nil, err
+	}
+	mod, err := readModulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	srcImp, ok := importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+	if !ok {
+		return nil, fmt.Errorf("lint: source importer does not implement ImporterFrom")
+	}
+	return &Loader{
+		Root:   root,
+		Module: mod,
+		fset:   fset,
+		src:    srcImp,
+		pkgs:   make(map[string]*Package),
+	}, nil
+}
+
+func findModuleRoot(dir string) (string, error) {
+	for d := dir; ; {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", fmt.Errorf("lint: no go.mod at or above %s", dir)
+		}
+		d = parent
+	}
+}
+
+func readModulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module directive in %s", gomod)
+}
+
+// Load resolves the given patterns ("./...", "./internal/...", "./gptune")
+// against the module tree and returns the matched packages, parsed and
+// type-checked. Directories named testdata, hidden directories, and
+// directories with no non-test Go files are skipped.
+func (l *Loader) Load(patterns []string) ([]*Package, error) {
+	dirs, err := l.resolve(patterns)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Package
+	for _, dir := range dirs {
+		path := l.importPathFor(dir)
+		pkg, err := l.check(path)
+		if err != nil {
+			return nil, err
+		}
+		if pkg != nil {
+			out = append(out, pkg)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out, nil
+}
+
+// resolve expands patterns into absolute package directories.
+func (l *Loader) resolve(patterns []string) ([]string, error) {
+	seen := make(map[string]bool)
+	var dirs []string
+	add := func(d string) {
+		if !seen[d] {
+			seen[d] = true
+			dirs = append(dirs, d)
+		}
+	}
+	for _, pat := range patterns {
+		recursive := false
+		p := pat
+		if p == "..." || strings.HasSuffix(p, "/...") {
+			recursive = true
+			p = strings.TrimSuffix(strings.TrimSuffix(p, "..."), "/")
+			if p == "" {
+				p = "."
+			}
+		}
+		base := filepath.Join(l.Root, filepath.FromSlash(strings.TrimPrefix(p, "./")))
+		info, err := os.Stat(base)
+		if err != nil || !info.IsDir() {
+			return nil, fmt.Errorf("lint: pattern %q: no such directory %s", pat, base)
+		}
+		if !recursive {
+			if l.hasGoFiles(base) {
+				add(base)
+			}
+			continue
+		}
+		err = filepath.WalkDir(base, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != base && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			if l.hasGoFiles(path) {
+				add(path)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+func (l *Loader) hasGoFiles(dir string) bool {
+	names, err := goFileNames(dir)
+	return err == nil && len(names) > 0
+}
+
+// goFileNames lists the non-test .go files of dir, sorted.
+func goFileNames(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		if strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (l *Loader) importPathFor(dir string) string {
+	rel, err := filepath.Rel(l.Root, dir)
+	if err != nil || rel == "." {
+		return l.Module
+	}
+	return l.Module + "/" + filepath.ToSlash(rel)
+}
+
+func (l *Loader) dirFor(importPath string) string {
+	if importPath == l.Module {
+		return l.Root
+	}
+	rel := strings.TrimPrefix(importPath, l.Module+"/")
+	return filepath.Join(l.Root, filepath.FromSlash(rel))
+}
+
+// check parses and type-checks the package at importPath (module-internal),
+// memoized. Valid Go has no import cycles, so recursion terminates.
+func (l *Loader) check(importPath string) (*Package, error) {
+	if pkg, ok := l.pkgs[importPath]; ok {
+		if pkg == nil {
+			return nil, fmt.Errorf("lint: import cycle through %s", importPath)
+		}
+		return pkg, nil
+	}
+	l.pkgs[importPath] = nil // mark in-progress
+	dir := l.dirFor(importPath)
+	names, err := goFileNames(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(names) == 0 {
+		delete(l.pkgs, importPath)
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	files := make([]*ast.File, 0, len(names))
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: &moduleImporter{l: l}}
+	tpkg, err := conf.Check(importPath, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", importPath, err)
+	}
+	pkg := &Package{
+		Path:  importPath,
+		Dir:   dir,
+		Fset:  l.fset,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	}
+	l.pkgs[importPath] = pkg
+	return pkg, nil
+}
+
+// moduleImporter serves module-internal imports from the loader's cache and
+// delegates everything else to the source importer.
+type moduleImporter struct {
+	l *Loader
+}
+
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	return m.ImportFrom(path, m.l.Root, 0)
+}
+
+func (m *moduleImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if path == m.l.Module || strings.HasPrefix(path, m.l.Module+"/") {
+		pkg, err := m.l.check(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return m.l.src.ImportFrom(path, dir, mode)
+}

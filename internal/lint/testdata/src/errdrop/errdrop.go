@@ -1,0 +1,36 @@
+// Package errdrop exercises R6 (unchecked-error): a call statement whose
+// final error result is discarded silently drops failure paths (in the
+// real tree: Cholesky indefiniteness).
+package errdrop
+
+import "errors"
+
+func fallible() error { return errors.New("boom") }
+
+func pair() (int, error) { return 0, errors.New("boom") }
+
+func void() {}
+
+// Bad discards a bare error result.
+func Bad() {
+	fallible() // want "unchecked-error: call discards its error result"
+}
+
+// BadPair discards the final error of a multi-result call.
+func BadPair() {
+	pair() // want "unchecked-error: call discards its error result"
+}
+
+// Good handles the error in both shapes; calls without an error result
+// are clean as statements.
+func Good() int {
+	void()
+	if err := fallible(); err != nil {
+		return 1
+	}
+	n, err := pair()
+	if err != nil {
+		return n
+	}
+	return 0
+}

@@ -1,0 +1,28 @@
+// Package floateq exercises R5 (float-eq): exact floating-point equality
+// is almost never what numeric code means.
+package floateq
+
+// Bad compares float64 exactly.
+func Bad(a, b float64) bool {
+	return a == b // want "float-eq: floating-point == comparison"
+}
+
+// BadNeq catches != on float32 too.
+func BadNeq(a, b float32) bool {
+	return a != b // want "float-eq: floating-point != comparison"
+}
+
+// BadConst catches comparison against an untyped constant.
+func BadConst(x float64) bool {
+	return x == 0 // want "float-eq: floating-point == comparison"
+}
+
+// Good compares with a tolerance; integer equality is untouched.
+func Good(a, b float64, i, j int) bool {
+	const tol = 1e-12
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < tol && i == j
+}

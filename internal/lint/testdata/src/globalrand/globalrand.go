@@ -1,0 +1,24 @@
+// Package globalrand exercises R1 (no-global-rand): package-level
+// math/rand calls draw from the shared global source and are forbidden;
+// explicitly seeded generators are the approved pattern.
+package globalrand
+
+import "math/rand"
+
+// Bad draws from the process-global source.
+func Bad() int {
+	return rand.Intn(10) // want "no-global-rand: call to global math/rand.Intn"
+}
+
+// BadFloat hits two more global entry points.
+func BadFloat() float64 {
+	rand.Shuffle(3, func(i, j int) {}) // want "no-global-rand: call to global math/rand.Shuffle"
+	return rand.Float64()              // want "no-global-rand: call to global math/rand.Float64"
+}
+
+// Good threads an explicitly seeded generator; constructors and methods
+// on the injected *rand.Rand are clean.
+func Good(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10)
+}

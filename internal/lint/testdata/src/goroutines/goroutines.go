@@ -1,0 +1,12 @@
+// Package goroutines exercises R4 (no-stray-goroutines): worker-count
+// invariance holds only because all parallelism funnels through the mpx
+// pools, so go statements anywhere else are forbidden.
+package goroutines
+
+// Bad spawns a goroutine outside the mpx substrate.
+func Bad(done chan struct{}) {
+	go func() { // want "no-stray-goroutines: go statement outside internal/mpx"
+		close(done)
+	}()
+	<-done
+}

@@ -1,0 +1,35 @@
+// Package ignores exercises the //gptlint:ignore contract: an ignore with
+// a rule and reason suppresses matching diagnostics on its own line or the
+// line below; a suppressing-nothing ignore and a malformed ignore are
+// themselves errors.
+package ignores
+
+// SameLine is suppressed by a trailing ignore on the offending line.
+func SameLine(a, b float64) bool {
+	return a == b //gptlint:ignore float-eq exact duplicate detection on untouched inputs
+}
+
+// LineAbove is suppressed by an ignore on the line directly above.
+func LineAbove(m map[int]int) int {
+	n := 0
+	//gptlint:ignore no-map-range count only, iteration order is irrelevant
+	for range m {
+		n++
+	}
+	return n
+}
+
+// Unused carries an ignore that matches no diagnostic (ints, not floats).
+func Unused(a, b int) bool {
+	//gptlint:ignore float-eq ints are not floats // want "unused-ignore: gptlint:ignore float-eq suppresses nothing"
+	return a == b
+}
+
+// Bad carries malformed ignores: an unknown rule, then a missing reason.
+// Neither suppresses, so the float-eq below is still reported.
+func Bad(a, b float64) bool {
+	//gptlint:ignore no-such-rule the rule name is wrong // want "bad-ignore: unknown rule"
+	x := a == b // want "float-eq: floating-point == comparison"
+	//gptlint:ignore float-eq // want "bad-ignore: ignore for float-eq has no reason"
+	return x
+}

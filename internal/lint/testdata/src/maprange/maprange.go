@@ -1,0 +1,34 @@
+// Package maprange exercises R3 (no-map-range): map iteration order is
+// randomized per process, so any accumulation over it is non-reproducible.
+// The map type is resolved via go/types, not syntax, so named map types
+// are caught too.
+package maprange
+
+type set map[int]struct{}
+
+// Bad accumulates in map iteration order.
+func Bad(m map[int]float64) float64 {
+	s := 0.0
+	for _, v := range m { // want "no-map-range: range over map"
+		s += v
+	}
+	return s
+}
+
+// BadNamed ranges over a named type whose underlying type is a map.
+func BadNamed(m set) int {
+	n := 0
+	for range m { // want "no-map-range: range over map"
+		n++
+	}
+	return n
+}
+
+// Good iterates a slice; slice ranges are deterministic and clean.
+func Good(xs []float64) float64 {
+	s := 0.0
+	for _, v := range xs {
+		s += v
+	}
+	return s
+}

@@ -1,0 +1,19 @@
+// Package mpxok stands in for internal/mpx in the corpus: it is listed in
+// Config.GoroutineAllowed, so its go statements are clean (the R4 clean
+// case).
+package mpxok
+
+import "sync"
+
+// Pool runs fn(i) for i in [0, n) on n goroutines — allowed here.
+func Pool(n int, fn func(int)) {
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func() {
+			defer wg.Done()
+			fn(i)
+		}()
+	}
+	wg.Wait()
+}

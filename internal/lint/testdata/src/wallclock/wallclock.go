@@ -1,0 +1,22 @@
+// Package wallclock exercises R2 (no-wallclock): reading the wall clock
+// inside the deterministic numeric core is forbidden; the clock must be
+// injected by the caller.
+package wallclock
+
+import "time"
+
+// Bad reads the wall clock directly.
+func Bad() time.Time {
+	return time.Now() // want "no-wallclock: time.Now in deterministic numeric package"
+}
+
+// BadSince measures elapsed time in numeric code.
+func BadSince(t0 time.Time) time.Duration {
+	return time.Since(t0) // want "no-wallclock: time.Since in deterministic numeric package"
+}
+
+// Good receives the clock from the caller; calling a function value and
+// time.Time methods are clean.
+func Good(now func() time.Time, t0 time.Time) time.Duration {
+	return now().Sub(t0)
+}

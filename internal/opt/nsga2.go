@@ -116,7 +116,7 @@ func dedupFront(front []ParetoResult) []ParetoResult {
 		for _, q := range out {
 			same := true
 			for k := range p.F {
-				if p.F[k] != q.F[k] {
+				if p.F[k] != q.F[k] { //gptlint:ignore float-eq exact duplicate detection on stored objective vectors
 					same = false
 					break
 				}
@@ -224,7 +224,7 @@ func crowdFront(pop []*individual, front []int) {
 		lo, hi := pop[idx[0]].f[k], pop[idx[m-1]].f[k]
 		pop[idx[0]].crowding = math.Inf(1)
 		pop[idx[m-1]].crowding = math.Inf(1)
-		if hi == lo {
+		if hi == lo { //gptlint:ignore float-eq degenerate-range guard; equal extremes would divide by zero
 			continue
 		}
 		for a := 1; a < m-1; a++ {

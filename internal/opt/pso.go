@@ -24,13 +24,13 @@ func (p *PSOParams) defaults() {
 	if p.MaxIter <= 0 {
 		p.MaxIter = 50
 	}
-	if p.Inertia == 0 {
+	if p.Inertia == 0 { //gptlint:ignore float-eq zero is the unset-parameter sentinel in defaults
 		p.Inertia = 0.729
 	}
-	if p.Cognitive == 0 {
+	if p.Cognitive == 0 { //gptlint:ignore float-eq zero is the unset-parameter sentinel in defaults
 		p.Cognitive = 1.49445
 	}
-	if p.Social == 0 {
+	if p.Social == 0 { //gptlint:ignore float-eq zero is the unset-parameter sentinel in defaults
 		p.Social = 1.49445
 	}
 }

@@ -7,6 +7,8 @@ package sparse
 // graphs this achieves the classic O(n log n) fill bound that minimum
 // degree only approaches heuristically.
 
+import "sort"
+
 // orderND computes a nested dissection permutation: perm[k] is the old
 // vertex eliminated k-th.
 func orderND(p *Pattern) []int32 {
@@ -137,12 +139,16 @@ func bfsLevels(p *Pattern, start int32, member map[int32]bool) [][]int32 {
 		frontier = next
 	}
 	var stragglers []int32
+	//gptlint:ignore no-map-range set collection only; stragglers are sorted below before they reach the ordering
 	for v := range member {
 		if !seen[v] {
 			stragglers = append(stragglers, v)
 		}
 	}
 	if len(stragglers) > 0 {
+		// Map iteration order is random per run; sorting makes the final
+		// level — and with it the whole dissection — deterministic.
+		sort.Slice(stragglers, func(i, j int) bool { return stragglers[i] < stragglers[j] })
 		levels = append(levels, stragglers)
 	}
 	return levels

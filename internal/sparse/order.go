@@ -198,12 +198,14 @@ func orderMinDegree(p *Pattern) []int32 {
 		// elements (computed with a visitation stamp).
 		stamp++
 		var boundary []int32
+		//gptlint:ignore no-map-range stamp-deduplicated set collection; boundary is sorted below before any order-sensitive use
 		for u := range adj[v] {
 			if !eliminated[u] && mark[u] != stamp {
 				mark[u] = stamp
 				boundary = append(boundary, u)
 			}
 		}
+		//gptlint:ignore no-map-range absorption order is irrelevant to the collected set; boundary is sorted below
 		for e := range varElems[v] {
 			for _, u := range elems[e] {
 				if !eliminated[u] && u != v && mark[u] != stamp {
@@ -213,6 +215,10 @@ func orderMinDegree(p *Pattern) []int32 {
 			}
 			elems[e] = nil // absorbed
 		}
+		// boundary's *content* is a set, but its order flows into element
+		// lists, heap push order, and ultimately the permutation; sort it so
+		// the ordering is bitwise reproducible run to run.
+		sort.Slice(boundary, func(i, j int) bool { return boundary[i] < boundary[j] })
 
 		newElem := int32(len(elems))
 		elems = append(elems, boundary)
@@ -220,6 +226,7 @@ func orderMinDegree(p *Pattern) []int32 {
 			// Remove v and absorbed elements from u's lists; attach the new
 			// element.
 			delete(adj[u], v)
+			//gptlint:ignore no-map-range pure set subtraction; deletion order cannot affect the result
 			for e := range varElems[v] {
 				delete(varElems[u], e)
 			}
@@ -227,6 +234,7 @@ func orderMinDegree(p *Pattern) []int32 {
 			// Approximate external degree: variable neighbors plus element
 			// boundary sizes (upper bound; AMD's d̄).
 			d := len(adj[u])
+			//gptlint:ignore no-map-range integer summation; addition over a set is order-free
 			for e := range varElems[u] {
 				d += len(elems[e]) - 1
 			}

@@ -91,6 +91,7 @@ func (b *builder) build() *Pattern {
 	p := &Pattern{N: b.n, Adj: make([][]int32, b.n)}
 	for u, s := range b.sets {
 		a := make([]int32, 0, len(s))
+		//gptlint:ignore no-map-range key collection only; keys are sorted on the next line
 		for v := range s {
 			a = append(a, v)
 		}
