@@ -7,6 +7,8 @@
 //	gptune -app analytical -delta 4 -eps 20
 //	gptune -app qr -tuner opentuner -eps 10
 //	gptune -app superlu-mo -eps 40 -history runs.json
+//	gptune -app qr -eps 20 -checkpoint run.ckpt
+//	gptune -app qr -eps 20 -resume run.ckpt          # after a crash
 package main
 
 import (
@@ -56,6 +58,8 @@ func main() {
 		seed    = flag.Int64("seed", 1, "random seed")
 		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel workers")
 		history = flag.String("history", "", "history database path (loaded and updated)")
+		ckpt    = flag.String("checkpoint", "", "write-ahead log path: every evaluation is persisted as it completes (gptune tuner only)")
+		resume  = flag.String("resume", "", "checkpoint path of a killed run to resume (same app, seed and flags required)")
 	)
 	flag.Parse()
 
@@ -72,13 +76,26 @@ func main() {
 
 	fmt.Printf("Tuning %s with %s: δ=%d tasks, ε_tot=%d\n", p.Name, *tuner, *delta, *eps)
 	if *tuner == "gptune" {
-		// Full multitask MLA across all tasks.
-		res, err := gptune.Tune(p, tasks, gptune.Options{
-			EpsTot: *eps, Seed: *seed, Workers: *workers, LogY: true,
-		})
+		cp, err := openCheckpoint(*ckpt, *resume, p.Name)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
+		}
+		opts := gptune.Options{
+			EpsTot: *eps, Seed: *seed, Workers: *workers, LogY: true,
+		}
+		if cp != nil {
+			defer cp.Close()
+			opts.Checkpoint = cp
+		}
+		// Full multitask MLA across all tasks.
+		res, err := gptune.Tune(p, tasks, opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if cp != nil {
+			fmt.Printf("checkpoint: %d evaluations logged\n", cp.Logged())
 		}
 		for i, tr := range res.Tasks {
 			x, y := tr.Best()
@@ -95,6 +112,10 @@ func main() {
 		return
 	}
 
+	if *ckpt != "" || *resume != "" {
+		fmt.Fprintln(os.Stderr, "-checkpoint/-resume require the gptune tuner")
+		os.Exit(1)
+	}
 	tn, err := gptune.NewTuner(*tuner)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -110,6 +131,27 @@ func main() {
 		fmt.Printf("task %d: %s\n  Popt: %s\n  Oopt: %v\n",
 			i, p.Tasks.Describe(task), p.Tuning.Describe(x), y)
 	}
+}
+
+// openCheckpoint interprets the -checkpoint/-resume flags: -resume reopens
+// a killed run's log for deterministic replay, -checkpoint starts a fresh
+// one, and together they must name the same path.
+func openCheckpoint(ckpt, resume, problem string) (*gptune.Checkpointer, error) {
+	if resume != "" {
+		if ckpt != "" && ckpt != resume {
+			return nil, fmt.Errorf("-checkpoint %s and -resume %s name different paths", ckpt, resume)
+		}
+		cp, err := gptune.Resume(resume, gptune.CheckpointOptions{Problem: problem})
+		if err != nil {
+			return nil, err
+		}
+		fmt.Printf("resuming from %s: %d evaluations already logged\n", resume, cp.Logged())
+		return cp, nil
+	}
+	if ckpt == "" {
+		return nil, nil
+	}
+	return gptune.NewCheckpoint(ckpt, gptune.CheckpointOptions{Problem: problem})
 }
 
 func saveHistory(path, problem string, res *gptune.Result) {

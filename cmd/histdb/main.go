@@ -6,6 +6,8 @@
 //	histdb -db runs.json list
 //	histdb -db runs.json best pdgeqrf
 //	histdb -db runs.json merge other.json
+//	histdb -db run.ckpt verify     # inspect snapshot + write-ahead log
+//	histdb -db run.ckpt compact    # fold the log into the snapshot
 package main
 
 import (
@@ -24,8 +26,45 @@ func main() {
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: histdb -db <path> {list | best <problem> | merge <other.json>}")
+		fmt.Fprintln(os.Stderr, "usage: histdb -db <path> {list | best <problem> | merge <other.json> | verify | compact}")
 		os.Exit(1)
+	}
+
+	// verify and compact act on the snapshot + write-ahead log pair
+	// directly, before (or instead of) a plain Load.
+	switch args[0] {
+	case "verify":
+		v, err := histdb.Verify(*dbPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "verify: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: %d snapshot records, %d log records", *dbPath, v.SnapshotRecords, v.LogRecords)
+		if v.SkippedRecords > 0 {
+			fmt.Printf(" (%d already in the snapshot)", v.SkippedRecords)
+		}
+		if v.TornBytes > 0 {
+			fmt.Printf(", torn tail of %d bytes (recoverable: a reopen discards it)", v.TornBytes)
+		}
+		fmt.Printf("; %d total after recovery\n", v.SnapshotRecords+v.LogRecords-v.SkippedRecords)
+		return
+	case "compact":
+		w, err := histdb.OpenWAL(*dbPath, histdb.WALOptions{})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := w.Compact(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		n := w.Len()
+		if err := w.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("compacted %s: %d records in the snapshot, log truncated\n", *dbPath, n)
+		return
 	}
 
 	db, err := histdb.Load(*dbPath)

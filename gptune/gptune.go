@@ -195,6 +195,35 @@ func RecordResult(db *History, problem string, res *Result) {
 	}
 }
 
+// Checkpoint receives every completed evaluation of a run as it lands (see
+// Options.Checkpoint); Checkpointer is the WAL-backed implementation that
+// makes runs crash-safe and resumable.
+type (
+	Checkpoint        = core.Checkpoint
+	CheckpointRecord  = core.CheckpointRecord
+	CheckpointOptions = core.CheckpointOptions
+	Checkpointer      = core.Checkpointer
+)
+
+// NewCheckpoint creates a fresh crash-safe evaluation log at path; pass the
+// result as Options.Checkpoint so every evaluation is durable the moment it
+// completes. It refuses a path that already holds records — use Resume.
+func NewCheckpoint(path string, opts CheckpointOptions) (*Checkpointer, error) {
+	return core.NewCheckpoint(path, opts)
+}
+
+// Resume reopens a checkpoint left by a killed run. Re-running Tune with
+// the same problem, tasks, seed and options replays the logged evaluations
+// bitwise (without re-invoking the objective for them) and then continues
+// tuning — and logging — from where the crash cut the run off.
+func Resume(path string, opts CheckpointOptions) (*Checkpointer, error) {
+	return core.Resume(path, opts)
+}
+
+// VerifyHistory inspects the snapshot and write-ahead log behind path and
+// reports what a recovery would keep (see histdb.Verify).
+func VerifyHistory(path string) (histdb.VerifyResult, error) { return histdb.Verify(path) }
+
 // Dataset is multitask training data for standalone surrogate modeling.
 type Dataset = gp.Dataset
 

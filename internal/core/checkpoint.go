@@ -1,0 +1,211 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"repro/internal/histdb"
+)
+
+// CheckpointRecord is one completed objective evaluation as streamed to a
+// checkpoint: which task, which configuration was requested and which was
+// actually evaluated (they differ only when retries substituted a fresh
+// feasible point), the outputs, and the tuning phase that produced it.
+type CheckpointRecord struct {
+	Phase     string    // "init", "search" (Algorithm 1) or "mo" (Algorithm 2)
+	Task      []float64 // native task parameters
+	Requested []float64 // configuration the search asked for
+	X         []float64 // configuration evaluated
+	Y         []float64 // γ outputs
+}
+
+// Checkpoint receives every completed evaluation of an MLA run, in an order
+// that depends only on the run's seed and options — never on goroutine
+// scheduling — so the stream is a replayable log. Eval is always called on
+// the coordinating goroutine; Lookup may be called concurrently from
+// evaluation workers.
+type Checkpoint interface {
+	// Eval is called once per completed evaluation, as soon as it and every
+	// earlier evaluation of its batch have finished (mid-batch, not at the
+	// batch barrier). Returning an error aborts the run.
+	Eval(rec CheckpointRecord) error
+	// Lookup consults the log of a resumed run: when the evaluation for
+	// (task, requested) already completed before the crash, it returns the
+	// logged final configuration and outputs and the tuner skips the
+	// objective call. Each logged record satisfies at most one Lookup.
+	Lookup(task, requested []float64) (x, y []float64, ok bool)
+}
+
+// CheckpointOptions configures a WAL-backed checkpoint.
+type CheckpointOptions struct {
+	// Problem names the run in the log; Resume refuses a log whose records
+	// belong to a different problem.
+	Problem string
+	// GroupCommit batches fsyncs (see histdb.WALOptions.GroupCommit).
+	// Default 1: every evaluation is durable the moment it is delivered.
+	GroupCommit int
+	// Clock stamps log records; pass the run's Options.Clock so a
+	// deterministic run performs no wall-clock reads. nil uses time.Now.
+	Clock func() time.Time
+}
+
+// Checkpointer streams an MLA run's evaluations to a crash-safe
+// write-ahead log (histdb.WAL) and, after Resume, replays them so the run
+// continues where it was killed: the tuner re-derives its decisions
+// deterministically and satisfies already-logged evaluations from the log
+// instead of re-paying the objective. Replayed deliveries are verified
+// bitwise against the log, so any divergence (changed seed, options, or
+// objective) fails loudly instead of corrupting the history.
+type Checkpointer struct {
+	wal     *histdb.WAL
+	problem string
+
+	mu     sync.Mutex
+	replay []histdb.Record
+	pos    int    // next replay record Eval must reproduce
+	used   []bool // replay records consumed by Lookup
+}
+
+// NewCheckpoint creates a fresh WAL-backed checkpoint at path. It refuses a
+// location that already holds records — resume those with Resume, or point
+// a new run at a new path (a finished run's log is an archive, not scratch).
+func NewCheckpoint(path string, opts CheckpointOptions) (*Checkpointer, error) {
+	c, err := openCheckpoint(path, opts)
+	if err != nil {
+		return nil, err
+	}
+	if n := len(c.replay); n > 0 {
+		_ = c.wal.Close() // already failing; the open error is the one to report
+		return nil, fmt.Errorf("core: checkpoint %s already holds %d records; use Resume to continue it", path, n)
+	}
+	return c, nil
+}
+
+// Resume opens the WAL-backed checkpoint at path and prepares its records
+// for replay: pass the returned Checkpointer as Options.Checkpoint and run
+// RunContext with the same problem, tasks, seed and options as the killed
+// run. The run reproduces the logged prefix bitwise without re-invoking the
+// objective for logged evaluations, then continues tuning (and logging)
+// from where the crash cut it off. A missing file resumes as a fresh run.
+func Resume(path string, opts CheckpointOptions) (*Checkpointer, error) {
+	return openCheckpoint(path, opts)
+}
+
+func openCheckpoint(path string, opts CheckpointOptions) (*Checkpointer, error) {
+	wal, err := histdb.OpenWAL(path, histdb.WALOptions{
+		GroupCommit: opts.GroupCommit,
+		Clock:       opts.Clock,
+	})
+	if err != nil {
+		return nil, err
+	}
+	replay := wal.DB().Records()
+	for i, r := range replay {
+		if opts.Problem != "" && r.Problem != opts.Problem {
+			_ = wal.Close() // already failing; the mismatch error is the one to report
+			return nil, fmt.Errorf("core: checkpoint %s record %d belongs to problem %q, not %q",
+				path, i, r.Problem, opts.Problem)
+		}
+	}
+	return &Checkpointer{wal: wal, problem: opts.Problem, replay: replay, used: make([]bool, len(replay))}, nil
+}
+
+// Logged returns how many evaluations the checkpoint currently holds
+// (replayed + newly appended).
+func (c *Checkpointer) Logged() int { return c.wal.Len() }
+
+// Prior converts the checkpoint's records into Options.Prior samples — for
+// warm-starting a *different* run (other tasks, other budget) from this
+// run's data rather than resuming it. Output-less records are skipped.
+func (c *Checkpointer) Prior() []PriorSample {
+	var out []PriorSample
+	for _, r := range c.wal.DB().Records() {
+		if len(r.Outputs) == 0 {
+			continue
+		}
+		out = append(out, PriorSample{Task: r.Task, X: r.Config, Y: r.Outputs})
+	}
+	return out
+}
+
+// Compact folds the checkpoint's log into its snapshot file (see
+// histdb.WAL.Compact).
+func (c *Checkpointer) Compact() error { return c.wal.Compact() }
+
+// Close flushes and closes the underlying log.
+func (c *Checkpointer) Close() error { return c.wal.Close() }
+
+// Eval implements Checkpoint: while replaying it verifies the delivery
+// reproduces the logged record bitwise; past the replayed prefix it appends
+// the record durably to the WAL.
+func (c *Checkpointer) Eval(rec CheckpointRecord) error {
+	c.mu.Lock()
+	if c.pos < len(c.replay) {
+		logged := c.replay[c.pos]
+		c.pos++
+		c.mu.Unlock()
+		if logged.Phase != rec.Phase ||
+			!bitsEqual(logged.Task, rec.Task) ||
+			!bitsEqual(loggedRequested(logged), rec.Requested) ||
+			!bitsEqual(logged.Config, rec.X) ||
+			!bitsEqual(logged.Outputs, rec.Y) {
+			return fmt.Errorf("core: resume diverged at logged evaluation %d: log has phase=%s task=%v x=%v, run produced phase=%s task=%v x=%v (same problem, seed and options required)",
+				c.pos-1, logged.Phase, logged.Task, logged.Config, rec.Phase, rec.Task, rec.X)
+		}
+		return nil
+	}
+	c.mu.Unlock()
+	r := histdb.Record{
+		Problem:   c.problem,
+		Task:      rec.Task,
+		Config:    rec.X,
+		Outputs:   rec.Y,
+		Phase:     rec.Phase,
+		Requested: rec.Requested,
+	}
+	if bitsEqual(rec.Requested, rec.X) {
+		r.Requested = nil // the common no-retry case; Config doubles as Requested
+	}
+	return c.wal.Append(r)
+}
+
+// loggedRequested is the configuration a logged evaluation was asked for:
+// Requested when a retry made it differ from Config, else Config itself.
+func loggedRequested(r histdb.Record) []float64 {
+	if r.Requested != nil {
+		return r.Requested
+	}
+	return r.Config
+}
+
+// Lookup implements Checkpoint: it finds the first unconsumed replay record
+// matching (task, requested) bitwise.
+func (c *Checkpointer) Lookup(task, requested []float64) (x, y []float64, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i, r := range c.replay {
+		if c.used[i] || !bitsEqual(r.Task, task) || !bitsEqual(loggedRequested(r), requested) {
+			continue
+		}
+		c.used[i] = true
+		return append([]float64(nil), r.Config...), append([]float64(nil), r.Outputs...), true
+	}
+	return nil, nil, false
+}
+
+// bitsEqual compares two vectors at the Float64bits level — the same
+// equality the determinism harness asserts, exact across the JSON
+// round-trip (encoding/json emits shortest round-trippable literals).
+func bitsEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,9 +1,15 @@
 package core
 
 import (
+	"errors"
+	"fmt"
 	"math"
+	"path/filepath"
 	"runtime"
+	"sync/atomic"
 	"testing"
+
+	"repro/internal/histdb"
 )
 
 // runSeeded runs the analytical MLA benchmark at a fixed seed with the given
@@ -77,5 +83,132 @@ func TestMLADeterministicRepeatedRun(t *testing.T) {
 				}
 			}
 		}
+	}
+}
+
+// errKilled simulates the process dying: the checkpoint hook refuses the
+// next delivery, aborting the run after k records reached the log.
+var errKilled = errors.New("simulated crash")
+
+// killAfter wraps a Checkpointer and fails the (k+1)-th delivery.
+type killAfter struct {
+	inner *Checkpointer
+	kills int
+	count int
+}
+
+func (k *killAfter) Eval(rec CheckpointRecord) error {
+	if k.count >= k.kills {
+		return errKilled
+	}
+	k.count++
+	return k.inner.Eval(rec)
+}
+
+func (k *killAfter) Lookup(task, requested []float64) ([]float64, []float64, bool) {
+	return k.inner.Lookup(task, requested)
+}
+
+// countingProblem wraps the analytical problem, counting objective calls.
+func countingProblem(calls *int64) *Problem {
+	p := analyticalProblem()
+	inner := p.Objective
+	p.Objective = func(task, x []float64) ([]float64, error) {
+		atomic.AddInt64(calls, 1)
+		return inner(task, x)
+	}
+	return p
+}
+
+func resumeOptions(cp Checkpoint) Options {
+	return Options{EpsTot: 8, Seed: 42, Workers: 4, Checkpoint: cp}
+}
+
+func requireBitwiseEqualHistories(t *testing.T, label string, a, b *Result) {
+	t.Helper()
+	if len(a.Tasks) != len(b.Tasks) {
+		t.Fatalf("%s: task count %d vs %d", label, len(a.Tasks), len(b.Tasks))
+	}
+	for ti := range a.Tasks {
+		s, p := a.Tasks[ti], b.Tasks[ti]
+		if len(s.X) != len(p.X) || len(s.Y) != len(p.Y) {
+			t.Fatalf("%s: task %d history length %d/%d vs %d/%d",
+				label, ti, len(s.X), len(s.Y), len(p.X), len(p.Y))
+		}
+		for i := range s.X {
+			for d := range s.X[i] {
+				if math.Float64bits(s.X[i][d]) != math.Float64bits(p.X[i][d]) {
+					t.Fatalf("%s: task %d sample %d dim %d: X %v vs %v",
+						label, ti, i, d, s.X[i][d], p.X[i][d])
+				}
+			}
+			for k := range s.Y[i] {
+				if math.Float64bits(s.Y[i][k]) != math.Float64bits(p.Y[i][k]) {
+					t.Fatalf("%s: task %d sample %d output %d: Y %v vs %v",
+						label, ti, i, k, s.Y[i][k], p.Y[i][k])
+				}
+			}
+		}
+	}
+}
+
+// TestCrashResumeReproducesRunBitwise is the crash-safety half of the
+// determinism contract: for every possible crash point k (the run dies
+// after exactly k evaluations reached the write-ahead log), resuming from
+// the log must reproduce the uninterrupted run's tuning history bitwise —
+// and must not re-pay the k logged objective evaluations.
+func TestCrashResumeReproducesRunBitwise(t *testing.T) {
+	tasks := [][]float64{{0}, {1.5}}
+
+	var baseCalls int64
+	baseline, err := Run(countingProblem(&baseCalls), tasks, resumeOptions(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := int(baseCalls) // evaluations an uninterrupted run performs
+
+	for k := 0; k <= total; k++ {
+		dir := t.TempDir()
+		path := filepath.Join(dir, "ckpt.json")
+
+		// Phase 1: run until the simulated crash after k logged records.
+		cp, err := NewCheckpoint(path, CheckpointOptions{Problem: "analytical"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = Run(analyticalProblem(), tasks, resumeOptions(&killAfter{inner: cp, kills: k}))
+		if k < total && !errors.Is(err, errKilled) {
+			t.Fatalf("kill %d: run survived the crash: %v", k, err)
+		}
+		if k == total && err != nil {
+			t.Fatalf("kill %d: uninterrupted checkpointed run failed: %v", k, err)
+		}
+		cp.Close()
+
+		// The log must be recoverable and hold exactly k records.
+		if res, verr := histdb.Verify(path); verr != nil || res.SnapshotRecords+res.LogRecords != k {
+			t.Fatalf("kill %d: verify = %+v, %v", k, res, verr)
+		}
+
+		// Phase 2: resume and run to completion.
+		rcp, err := Resume(path, CheckpointOptions{Problem: "analytical"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var resumedCalls int64
+		resumed, err := Run(countingProblem(&resumedCalls), tasks, resumeOptions(rcp))
+		if err != nil {
+			t.Fatalf("kill %d: resumed run failed: %v", k, err)
+		}
+		requireBitwiseEqualHistories(t, fmt.Sprintf("kill %d", k), baseline, resumed)
+		if int(resumedCalls) != total-k {
+			t.Errorf("kill %d: resumed run paid %d objective calls, want %d (log should cover the rest)",
+				k, resumedCalls, total-k)
+		}
+		// The finished log must equal the uninterrupted run's history.
+		if got := rcp.Logged(); got != total {
+			t.Errorf("kill %d: final log has %d records, want %d", k, got, total)
+		}
+		rcp.Close()
 	}
 }

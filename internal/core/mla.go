@@ -185,6 +185,7 @@ func (st *state) initialSampling() error {
 		eps = st.opts.EpsTot - 1
 	}
 	type job struct {
+		idx  int // position in the batch; salts the retry RNG
 		task int
 		x    []float64
 	}
@@ -195,7 +196,7 @@ func (st *state) initialSampling() error {
 			return fmt.Errorf("core: initial sampling for task %d: %w", i, err)
 		}
 		for _, x := range pts {
-			jobs = append(jobs, job{task: i, x: x})
+			jobs = append(jobs, job{idx: len(jobs), task: i, x: x})
 		}
 	}
 	t0 := st.opts.now()
@@ -203,11 +204,22 @@ func (st *state) initialSampling() error {
 		x []float64
 		y []float64
 	}
-	results, errs := mpx.Map(jobs, st.opts.Workers, func(j job) (outcome, error) {
-		x, y, err := st.evalWithRetry(j.task, j.x, rand.New(rand.NewSource(st.opts.Seed^hash2(j.task, len(jobs)))))
+	// The retry RNG is salted with the job index, not just the task: two
+	// failing configurations of the same task must draw distinct
+	// replacement points (a task-only seed made them collide).
+	results, errs, derr := mpx.MapStream(jobs, st.opts.Workers, func(j job) (outcome, error) {
+		x, y, err := st.evalWithRetry(j.task, j.x, rand.New(rand.NewSource(st.opts.Seed^hash3(j.task, j.idx, len(jobs)))))
 		return outcome{x: x, y: y}, err
+	}, func(k int, r outcome, err error) error {
+		if err != nil {
+			return nil // evaluation errors are reported by the loop below
+		}
+		return st.checkpointEval("init", jobs[k].task, jobs[k].x, r.x, r.y)
 	})
 	st.stats.Objective += st.opts.since(t0)
+	if derr != nil {
+		return fmt.Errorf("core: checkpoint: %w", derr)
+	}
 	for k, j := range jobs {
 		if errs[k] != nil {
 			return fmt.Errorf("core: evaluating task %d: %w", j.task, errs[k])
@@ -223,12 +235,36 @@ func hash2(a, b int) int64 {
 	return int64(a)*1000003 + int64(b)*7919
 }
 
+func hash3(a, b, c int) int64 {
+	return int64(a)*1000003 + int64(b)*8191 + int64(c)*7919
+}
+
+// checkpointEval streams one completed evaluation to the checkpoint hook
+// (no-op without one). Always called on the coordinating goroutine, in
+// batch order.
+func (st *state) checkpointEval(phase string, task int, requested, x, y []float64) error {
+	cp := st.opts.Checkpoint
+	if cp == nil {
+		return nil
+	}
+	return cp.Eval(CheckpointRecord{Phase: phase, Task: st.tasks[task], Requested: requested, X: x, Y: y})
+}
+
 // evalWithRetry runs the objective with the configured repeat count (taking
 // the componentwise minimum, the paper's noise mitigation) and retries with
 // fresh random feasible configurations when the objective errors or returns
 // non-finite values.
 func (st *state) evalWithRetry(task int, x []float64, rng *rand.Rand) ([]float64, []float64, error) {
 	t := st.tasks[task]
+	// A resumed run satisfies already-logged evaluations from the
+	// checkpoint instead of re-paying the objective (the log stores both
+	// the requested and the finally-evaluated configuration, so even a
+	// retried evaluation replays without consuming rng draws).
+	if cp := st.opts.Checkpoint; cp != nil {
+		if fx, fy, ok := cp.Lookup(t, x); ok {
+			return fx, fy, nil
+		}
+	}
 	var lastErr error
 	for attempt := 0; attempt < 3; attempt++ {
 		y, err := st.evalRepeated(t, x)
@@ -496,12 +532,20 @@ func (st *state) iterateSingle() error {
 	type outcome struct {
 		x, y []float64
 	}
-	results, errs := mpx.Map(jobs, st.opts.Workers, func(j job) (outcome, error) {
+	results, errs, derr := mpx.MapStream(jobs, st.opts.Workers, func(j job) (outcome, error) {
 		rng := rand.New(rand.NewSource(st.opts.Seed ^ hash2(j.task*64+j.slot, st.minSamples())))
 		x, y, err := st.evalWithRetry(j.task, newX[j.task][j.slot], rng)
 		return outcome{x: x, y: y}, err
+	}, func(k int, r outcome, err error) error {
+		if err != nil {
+			return nil
+		}
+		return st.checkpointEval("search", jobs[k].task, newX[jobs[k].task][jobs[k].slot], r.x, r.y)
 	})
 	st.stats.Objective += st.opts.since(t2)
+	if derr != nil {
+		return fmt.Errorf("core: checkpoint: %w", derr)
+	}
 	for k, j := range jobs {
 		if errs[k] != nil {
 			return errs[k]
@@ -586,7 +630,14 @@ func (st *state) searchOne(i int, model *gp.LCM, ws *gp.PredictWorkspace, tv fun
 		return score
 	}
 	params := st.opts.Search
-	params.Seeds = append(params.Seeds, st.p.Tuning.Normalize(st.X[i][bestIdx]))
+	// Clone before appending: params.Seeds shares its backing array with
+	// the caller's Options.Search.Seeds, and searchOne runs concurrently
+	// across tasks — appending in place would race on (and bleed one
+	// task's incumbent into) the shared array whenever it has spare
+	// capacity.
+	seeds := make([][]float64, len(params.Seeds), len(params.Seeds)+1)
+	copy(seeds, params.Seeds)
+	params.Seeds = append(seeds, st.p.Tuning.Normalize(st.X[i][bestIdx]))
 	res := opt.PSO(neg, st.p.Tuning.Dim(), params, rng)
 	// Hybrid search: PSO explores the continuous relaxation well, but
 	// categorical/integer dimensions make the acquisition piecewise

@@ -57,12 +57,20 @@ func (st *state) iterateMulti() error {
 		}
 	}
 	type outcome struct{ x, y []float64 }
-	results, errs := mpx.Map(jobs, st.opts.Workers, func(j job) (outcome, error) {
+	results, errs, derr := mpx.MapStream(jobs, st.opts.Workers, func(j job) (outcome, error) {
 		rng := rand.New(rand.NewSource(st.opts.Seed ^ hash2(j.task*64+j.slot, st.minSamples())))
 		x, y, err := st.evalWithRetry(j.task, newX[j.task][j.slot], rng)
 		return outcome{x: x, y: y}, err
+	}, func(k int, r outcome, err error) error {
+		if err != nil {
+			return nil
+		}
+		return st.checkpointEval("mo", jobs[k].task, newX[jobs[k].task][jobs[k].slot], r.x, r.y)
 	})
 	st.stats.Objective += st.opts.since(t2)
+	if derr != nil {
+		return fmt.Errorf("core: checkpoint: %w", derr)
+	}
 	for k, j := range jobs {
 		if errs[k] != nil {
 			return errs[k]

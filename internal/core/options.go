@@ -63,6 +63,14 @@ type Options struct {
 	// Seed makes runs reproducible.
 	Seed int64
 
+	// Checkpoint, when non-nil, receives every completed objective
+	// evaluation as it lands (mid-batch, in a scheduling-independent
+	// order), making the run crash-safe: a WAL-backed Checkpointer
+	// (NewCheckpoint/Resume) persists each evaluation durably and, on
+	// resume, replays the log so the run continues where it was killed
+	// without re-paying logged evaluations. A hook error aborts the run.
+	Checkpoint Checkpoint
+
 	// Clock overrides the wall clock behind PhaseStats (useful for tests
 	// and simulation). nil means the real clock. Tuning results never read
 	// it — it feeds only the timing telemetry, which is why it is the one

@@ -1,0 +1,208 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/space"
+)
+
+func TestNewCheckpointRefusesExistingRecords(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.json")
+	cp, err := NewCheckpoint(path, CheckpointOptions{Problem: "analytical"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(analyticalProblem(), [][]float64{{0}}, Options{EpsTot: 4, Seed: 1, Checkpoint: cp}); err != nil {
+		t.Fatal(err)
+	}
+	cp.Close()
+	if _, err := NewCheckpoint(path, CheckpointOptions{Problem: "analytical"}); err == nil {
+		t.Fatal("NewCheckpoint overwrote an existing log")
+	}
+	// Resume of a *completed* run replays everything and pays nothing;
+	// covered exhaustively by TestCrashResumeReproducesRunBitwise (k=total).
+}
+
+func TestResumeRejectsWrongProblem(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.json")
+	cp, err := NewCheckpoint(path, CheckpointOptions{Problem: "analytical"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(analyticalProblem(), [][]float64{{0}}, Options{EpsTot: 4, Seed: 1, Checkpoint: cp}); err != nil {
+		t.Fatal(err)
+	}
+	cp.Close()
+	if _, err := Resume(path, CheckpointOptions{Problem: "other"}); err == nil {
+		t.Fatal("Resume accepted a log from a different problem")
+	}
+}
+
+// A resumed run with a different seed walks a different trajectory; the
+// replay verifier must detect the divergence instead of silently growing a
+// log that no longer matches any single run.
+func TestResumeDivergenceDetected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.json")
+	cp, err := NewCheckpoint(path, CheckpointOptions{Problem: "analytical"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(analyticalProblem(), [][]float64{{0}}, Options{EpsTot: 6, Seed: 1, Checkpoint: cp}); err != nil {
+		t.Fatal(err)
+	}
+	cp.Close()
+	rcp, err := Resume(path, CheckpointOptions{Problem: "analytical"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rcp.Close()
+	_, err = Run(analyticalProblem(), [][]float64{{0}}, Options{EpsTot: 6, Seed: 999, Checkpoint: rcp})
+	if err == nil || !strings.Contains(err.Error(), "diverged") {
+		t.Fatalf("divergent resume not detected: %v", err)
+	}
+}
+
+// Prior rebuilds Options.Prior-style samples from the log for warm-starting
+// a different run from a checkpoint's data.
+func TestCheckpointPrior(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.json")
+	cp, err := NewCheckpoint(path, CheckpointOptions{Problem: "analytical"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(analyticalProblem(), [][]float64{{0}}, Options{EpsTot: 4, Seed: 1, Checkpoint: cp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp.Close()
+	rcp, err := Resume(path, CheckpointOptions{Problem: "analytical"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rcp.Close()
+	prior := rcp.Prior()
+	if len(prior) != len(res.Tasks[0].X) {
+		t.Fatalf("Prior has %d samples, run produced %d", len(prior), len(res.Tasks[0].X))
+	}
+	for i, ps := range prior {
+		if math.Float64bits(ps.X[0]) != math.Float64bits(res.Tasks[0].X[i][0]) ||
+			math.Float64bits(ps.Y[0]) != math.Float64bits(res.Tasks[0].Y[i][0]) {
+			t.Fatalf("prior sample %d does not match history: %+v", i, ps)
+		}
+	}
+}
+
+// recordingCheckpoint keeps records in memory (order matters).
+type recordingCheckpoint struct{ recs []CheckpointRecord }
+
+func (rc *recordingCheckpoint) Eval(rec CheckpointRecord) error {
+	rc.recs = append(rc.recs, rec)
+	return nil
+}
+func (rc *recordingCheckpoint) Lookup(task, requested []float64) ([]float64, []float64, bool) {
+	return nil, nil, false
+}
+
+// Every evaluation of a run must be streamed to the hook, tagged with its
+// phase, including multi-objective iterations.
+func TestCheckpointStreamsEveryPhase(t *testing.T) {
+	rc := &recordingCheckpoint{}
+	res, err := Run(analyticalProblem(), [][]float64{{0}, {2}}, Options{EpsTot: 6, Seed: 3, Workers: 4, Checkpoint: rc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTotal := 0
+	for _, tr := range res.Tasks {
+		wantTotal += len(tr.X)
+	}
+	if len(rc.recs) != wantTotal {
+		t.Fatalf("hook saw %d evaluations, run produced %d", len(rc.recs), wantTotal)
+	}
+	phases := map[string]int{}
+	for _, r := range rc.recs {
+		phases[r.Phase]++
+		if len(r.Task) != 1 || len(r.X) != 1 || len(r.Y) != 1 || len(r.Requested) != 1 {
+			t.Fatalf("malformed record: %+v", r)
+		}
+	}
+	if phases["init"] == 0 || phases["search"] == 0 || phases["init"]+phases["search"] != wantTotal {
+		t.Fatalf("phase breakdown wrong: %v", phases)
+	}
+
+	mo := &recordingCheckpoint{}
+	p := &Problem{
+		Name:    "mo",
+		Tasks:   space.MustNew(space.NewReal("t", 0, 1)),
+		Tuning:  space.MustNew(space.NewReal("x", 0, 1)),
+		Outputs: space.NewOutputSpace("f1", "f2"),
+		Objective: func(task, x []float64) ([]float64, error) {
+			return []float64{x[0], 1 - x[0]}, nil
+		},
+	}
+	if _, err := Run(p, [][]float64{{0}}, Options{EpsTot: 6, Seed: 4, Checkpoint: mo}); err != nil {
+		t.Fatal(err)
+	}
+	moPhases := map[string]int{}
+	for _, r := range mo.recs {
+		moPhases[r.Phase]++
+	}
+	if moPhases["mo"] == 0 {
+		t.Fatalf("multi-objective iterations not tagged: %v", moPhases)
+	}
+}
+
+// Satellite regression: searchOne used to append the per-task incumbent
+// seed in place to the caller-shared Options.Search.Seeds backing array.
+// With spare capacity and concurrent tasks this was a data race (caught by
+// -race) and bled one task's incumbent into another's swarm. The slice —
+// including its spare capacity — must come back untouched.
+func TestSearchSeedsNotMutatedAcrossTasks(t *testing.T) {
+	seeds := make([][]float64, 1, 8) // spare capacity is the trap
+	seeds[0] = []float64{0.5}
+	opts := Options{EpsTot: 8, Seed: 7, Workers: 4}
+	opts.Search.Seeds = seeds
+	if _, err := Run(analyticalProblem(), [][]float64{{0}, {1}, {2}, {3}}, opts); err != nil {
+		t.Fatal(err)
+	}
+	if len(seeds) != 1 || seeds[0][0] != 0.5 {
+		t.Fatalf("caller's Seeds mutated: %v", seeds)
+	}
+	if spare := seeds[:2]; spare[1] != nil {
+		t.Fatalf("run wrote into the caller's spare capacity: %v", spare[1])
+	}
+}
+
+// Satellite regression: the initial-sampling retry RNG was seeded per task
+// only, so two failing configurations of one task drew the same replacement
+// point. With the job index in the hash, every retry draws a distinct one.
+func TestRetryDrawsDistinctWithinTask(t *testing.T) {
+	p := analyticalProblem()
+	inner := p.Objective
+	calls := 0
+	const epsTot = 8 // init phase: 4 jobs, all for the single task
+	p.Objective = func(task, x []float64) ([]float64, error) {
+		calls++
+		// Workers=1 runs jobs in order: odd-numbered calls during the init
+		// phase are first attempts and fail; the retry (even call) succeeds.
+		if calls <= epsTot && calls%2 == 1 {
+			return nil, errors.New("flaky")
+		}
+		return inner(task, x)
+	}
+	res, err := Run(p, [][]float64{{0}}, Options{EpsTot: epsTot, Seed: 11, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	initX := res.Tasks[0].X[:epsTot/2] // the init-phase samples, all retries
+	for i := range initX {
+		for j := i + 1; j < len(initX); j++ {
+			if math.Float64bits(initX[i][0]) == math.Float64bits(initX[j][0]) {
+				t.Fatalf("retry draws collided: jobs %d and %d both got %v (task-only retry seed)", i, j, initX[i][0])
+			}
+		}
+	}
+}

@@ -9,7 +9,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -20,6 +22,16 @@ type Record struct {
 	Config  []float64 `json:"config"`
 	Outputs []float64 `json:"outputs"`
 	Stamp   time.Time `json:"stamp"`
+
+	// Phase tags which tuning phase produced the evaluation ("init",
+	// "search", "mo"); empty for records archived outside a checkpointed
+	// run.
+	Phase string `json:"phase,omitempty"`
+	// Requested is the configuration the tuner originally asked the
+	// objective to evaluate. It differs from Config only when the
+	// objective failed and a retry substituted a fresh feasible point;
+	// checkpoint replay keys on it to skip already-paid evaluations.
+	Requested []float64 `json:"requested,omitempty"`
 }
 
 // DB is an in-memory history database with JSON persistence.
@@ -32,10 +44,26 @@ type DB struct {
 func New() *DB { return &DB{} }
 
 // Load reads a database from path. A missing file yields an empty database.
+// When a sidecar write-ahead log (path + ".wal") exists, its records are
+// replayed on top of the snapshot (read-only; the log is not modified), so
+// evaluations streamed by a checkpointed run are visible without compaction.
 func Load(path string) (*DB, error) {
+	records, err := loadSnapshot(path)
+	if err != nil {
+		return nil, err
+	}
+	rec, err := recoverWAL(walPath(path), len(records))
+	if err != nil {
+		return nil, err
+	}
+	return &DB{records: append(records, rec.records...)}, nil
+}
+
+// loadSnapshot reads the JSON-array snapshot file alone (missing = empty).
+func loadSnapshot(path string) ([]Record, error) {
 	data, err := os.ReadFile(path)
 	if os.IsNotExist(err) {
-		return New(), nil
+		return nil, nil
 	}
 	if err != nil {
 		return nil, err
@@ -44,10 +72,64 @@ func Load(path string) (*DB, error) {
 	if err := json.Unmarshal(data, &records); err != nil {
 		return nil, fmt.Errorf("histdb: parsing %s: %w", path, err)
 	}
-	return &DB{records: records}, nil
+	return records, nil
 }
 
-// Save writes the database to path atomically (write + rename).
+// tmpCounter disambiguates concurrent temp files within one process; the
+// PID disambiguates across processes sharing a directory.
+var tmpCounter atomic.Int64
+
+func tmpPath(path string) string {
+	return fmt.Sprintf("%s.tmp.%d.%d", path, os.Getpid(), tmpCounter.Add(1))
+}
+
+// writeFileDurable writes data to path via a unique temp file, fsyncs the
+// temp file before the atomic rename, and fsyncs the parent directory after
+// it, so a crash at any point leaves either the old or the new content —
+// never a torn file, and never a rename that a power loss can undo.
+func writeFileDurable(path string, data []byte) error {
+	tmp := tmpPath(path)
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return syncDir(filepath.Dir(path))
+}
+
+// syncDir fsyncs a directory so a just-renamed entry survives power loss.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Save writes the database snapshot to path atomically and durably (unique
+// temp file + fsync + rename + directory fsync, safe under concurrent Saves
+// to the same path).
 func (db *DB) Save(path string) error {
 	db.mu.Lock()
 	data, err := json.MarshalIndent(db.records, "", " ")
@@ -55,11 +137,7 @@ func (db *DB) Save(path string) error {
 	if err != nil {
 		return err
 	}
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
-		return err
-	}
-	return os.Rename(tmp, path)
+	return writeFileDurable(path, data)
 }
 
 // Append adds one record.
@@ -70,6 +148,13 @@ func (db *DB) Append(r Record) {
 	db.mu.Lock()
 	db.records = append(db.records, r)
 	db.mu.Unlock()
+}
+
+// Records returns a copy of every record, in insertion order.
+func (db *DB) Records() []Record {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return append([]Record(nil), db.records...)
 }
 
 // Len returns the record count.
@@ -131,19 +216,21 @@ func (db *DB) Merge(other *DB) {
 }
 
 // Best returns the record minimizing outputs[0] for the given problem/task,
-// or false when none exists.
+// or false when no record with outputs exists. Output-less records (e.g.
+// placeholders from partial archives) are never chosen as the incumbent.
 func (db *DB) Best(problem string, task []float64) (Record, bool) {
-	matches := db.Query(problem, task)
-	if len(matches) == 0 {
-		return Record{}, false
-	}
-	best := matches[0]
-	for _, r := range matches[1:] {
-		if len(r.Outputs) > 0 && len(best.Outputs) > 0 && r.Outputs[0] < best.Outputs[0] {
+	var best Record
+	found := false
+	for _, r := range db.Query(problem, task) {
+		if len(r.Outputs) == 0 {
+			continue
+		}
+		if !found || r.Outputs[0] < best.Outputs[0] {
 			best = r
+			found = true
 		}
 	}
-	return best, true
+	return best, found
 }
 
 func equalVec(a, b []float64) bool {

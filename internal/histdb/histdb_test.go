@@ -87,6 +87,67 @@ func TestMerge(t *testing.T) {
 	}
 }
 
+// An output-less record must never be chosen as the incumbent — a first
+// record with empty Outputs used to shadow every later real record because
+// the comparison silently skipped it.
+func TestBestSkipsOutputlessRecords(t *testing.T) {
+	db := New()
+	db.Append(Record{Problem: "qr", Task: []float64{1}})                           // placeholder, no outputs
+	db.Append(Record{Problem: "qr", Task: []float64{1}, Outputs: []float64{7}})    //
+	db.Append(Record{Problem: "qr", Task: []float64{1}, Outputs: []float64{2}})    //
+	db.Append(Record{Problem: "qr", Task: []float64{1}, Outputs: []float64{3, 9}}) //
+	best, ok := db.Best("qr", []float64{1})
+	if !ok || best.Outputs[0] != 2 {
+		t.Fatalf("Best = %+v, %v; want outputs[0]=2", best, ok)
+	}
+	empty := New()
+	empty.Append(Record{Problem: "qr", Task: []float64{1}})
+	if _, ok := empty.Best("qr", []float64{1}); ok {
+		t.Fatalf("all-placeholder database reported a best record")
+	}
+}
+
+// Concurrent saves to one path must not collide on a shared temp file; every
+// save is atomic, so the surviving file is some complete snapshot.
+func TestConcurrentSave(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "hist.json")
+	db := New()
+	for i := 0; i < 10; i++ {
+		db.Append(Record{Problem: "p", Outputs: []float64{float64(i)}})
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			errs[w] = db.Save(path)
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != 10 {
+		t.Fatalf("loaded %d records, want 10", loaded.Len())
+	}
+	// No stray temp files left behind.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("directory not clean after concurrent saves: %v", entries)
+	}
+}
+
 func TestConcurrentAppend(t *testing.T) {
 	db := New()
 	var wg sync.WaitGroup

@@ -1,0 +1,348 @@
+// Write-ahead logging for the history database. A WAL-backed database at
+// path `base` is a pair of files:
+//
+//	base        — snapshot: a JSON array of Records (the legacy Save format)
+//	base.wal    — append-only log: a JSON header line, then one JSON Record
+//	              per line, each appended (and by default fsync'd) as the
+//	              evaluation completes
+//
+// The header records how many snapshot records the log extends
+// ({"wal":1,"snapshot_len":N}), which makes compaction crash-safe without
+// record identity: Compact first durably rewrites the snapshot with all M
+// records, then atomically swaps in a fresh log whose header says M. A crash
+// between the two steps leaves a snapshot of M records and the old log
+// (header N, M−N records); recovery skips the first M−N log records as
+// already folded into the snapshot.
+//
+// Recovery tolerates a torn final append: any bytes after the last newline
+// are discarded (at most the in-flight record is lost, because every
+// complete record append ends in the newline). A newline-terminated line
+// that fails to parse mid-log is real corruption and is reported as an
+// error, not silently dropped.
+package histdb
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+)
+
+// File is the subset of *os.File the WAL appends through. Tests substitute
+// fault-injecting implementations (internal/histdb/faultio) to prove the
+// recovery path.
+type File interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+// WALOptions configures a write-ahead-logged database.
+type WALOptions struct {
+	// GroupCommit fsyncs the log every N appends instead of every append
+	// (N ≤ 1). Larger values amortize fsync cost at the price of losing up
+	// to N−1 fully-written records (plus the in-flight one) on a crash.
+	GroupCommit int
+	// Clock stamps records whose Stamp is zero; nil uses the wall clock.
+	// Tuning code passes its injected Options.Clock through here so that
+	// nothing in a deterministic run reads time.Now directly.
+	Clock func() time.Time
+	// WrapFile, when non-nil, wraps the opened log file before any append
+	// goes through it — the fault-injection seam.
+	WrapFile func(File) File
+}
+
+// WAL is a history database whose appends stream to an fsync'd log, so a
+// crash at any moment loses at most the record being written (times the
+// group-commit window). All methods are safe for concurrent use.
+type WAL struct {
+	mu      sync.Mutex
+	base    string
+	opts    WALOptions
+	f       File
+	db      *DB
+	pending int   // appends since the last fsync
+	broken  error // sticky: a failed append poisons the log handle
+}
+
+func walPath(base string) string { return base + ".wal" }
+
+// walHeader is the first line of every log file.
+type walHeader struct {
+	Wal         int `json:"wal"`
+	SnapshotLen int `json:"snapshot_len"`
+}
+
+// OpenWAL opens (creating if needed) the WAL-backed database at base,
+// recovering the snapshot + log pair: a torn final log line is truncated
+// away, and log records already folded into the snapshot by an interrupted
+// compaction are skipped.
+func OpenWAL(base string, opts WALOptions) (*WAL, error) {
+	if opts.GroupCommit < 1 {
+		opts.GroupCommit = 1
+	}
+	snap, err := loadSnapshot(base)
+	if err != nil {
+		return nil, err
+	}
+	lp := walPath(base)
+	rec, err := recoverWAL(lp, len(snap))
+	if err != nil {
+		return nil, err
+	}
+	if rec.tornBytes > 0 {
+		if err := os.Truncate(lp, rec.goodSize); err != nil {
+			return nil, fmt.Errorf("histdb: truncating torn log tail: %w", err)
+		}
+	}
+	w := &WAL{
+		base: base,
+		opts: opts,
+		db:   &DB{records: append(snap, rec.records...)},
+	}
+	if !rec.hasHeader {
+		// Fresh (or fully-torn) log: write the header durably before any
+		// record can reference it.
+		if err := w.writeFreshLog(len(snap)); err != nil {
+			return nil, err
+		}
+	} else {
+		f, err := os.OpenFile(lp, os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, err
+		}
+		w.f = w.wrap(f)
+	}
+	return w, nil
+}
+
+func (w *WAL) wrap(f File) File {
+	if w.opts.WrapFile != nil {
+		return w.opts.WrapFile(f)
+	}
+	return f
+}
+
+// writeFreshLog atomically installs a new log containing only a header that
+// extends a snapshot of snapLen records, and points w.f at it.
+// Caller holds w.mu (or has exclusive access during OpenWAL).
+func (w *WAL) writeFreshLog(snapLen int) error {
+	lp := walPath(w.base)
+	hdr, err := json.Marshal(walHeader{Wal: 1, SnapshotLen: snapLen})
+	if err != nil {
+		return err
+	}
+	if err := writeFileDurable(lp, append(hdr, '\n')); err != nil {
+		return err
+	}
+	f, err := os.OpenFile(lp, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	if w.f != nil {
+		w.f.Close() // old handle points at the unlinked previous log
+	}
+	w.f = w.wrap(f)
+	w.pending = 0
+	return nil
+}
+
+// Append durably adds one record: it is written to the log (fsync'd per the
+// group-commit policy) before being added to the in-memory view. A write
+// error poisons the WAL — every later Append fails with the same error —
+// because a partially-written line must be recovered by reopening.
+func (w *WAL) Append(r Record) error {
+	if r.Stamp.IsZero() {
+		if w.opts.Clock != nil {
+			r.Stamp = w.opts.Clock().UTC()
+		} else {
+			r.Stamp = time.Now().UTC()
+		}
+	}
+	line, err := json.Marshal(r)
+	if err != nil {
+		return err
+	}
+	line = append(line, '\n')
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.broken != nil {
+		return fmt.Errorf("histdb: log poisoned by earlier append failure: %w", w.broken)
+	}
+	if _, err := w.f.Write(line); err != nil {
+		w.broken = err
+		return err
+	}
+	w.pending++
+	if w.pending >= w.opts.GroupCommit {
+		if err := w.f.Sync(); err != nil {
+			w.broken = err
+			return err
+		}
+		w.pending = 0
+	}
+	w.db.Append(r)
+	return nil
+}
+
+// Sync forces an fsync of any appends buffered by group commit.
+func (w *WAL) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.broken != nil {
+		return w.broken
+	}
+	if w.pending == 0 {
+		return nil
+	}
+	if err := w.f.Sync(); err != nil {
+		w.broken = err
+		return err
+	}
+	w.pending = 0
+	return nil
+}
+
+// Compact folds the log into the snapshot: the full record set is durably
+// rewritten to the snapshot file, then an empty log (header only) atomically
+// replaces the old one. Crash-safe at every step — recovery after an
+// interrupted compaction skips the already-folded records.
+func (w *WAL) Compact() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.broken != nil {
+		return w.broken
+	}
+	data, err := json.MarshalIndent(w.db.records, "", " ")
+	if err != nil {
+		return err
+	}
+	if err := writeFileDurable(w.base, data); err != nil {
+		return err
+	}
+	return w.writeFreshLog(len(w.db.records))
+}
+
+// Close flushes buffered appends and closes the log file.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return nil
+	}
+	var err error
+	if w.broken == nil && w.pending > 0 {
+		err = w.f.Sync()
+	}
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
+	}
+	w.f = nil
+	return err
+}
+
+// DB returns the in-memory view of snapshot + log. Callers must treat it as
+// read-only: new records go through WAL.Append so they are logged first.
+func (w *WAL) DB() *DB { return w.db }
+
+// Len returns the total record count (snapshot + log).
+func (w *WAL) Len() int { return w.db.Len() }
+
+// recovered is the result of scanning a log file.
+type recovered struct {
+	records   []Record
+	goodSize  int64 // bytes of the valid newline-terminated prefix
+	tornBytes int64 // trailing bytes after the last newline (discarded)
+	skipped   int   // leading records dropped as already in the snapshot
+	hasHeader bool
+}
+
+// recoverWAL scans the log at path against a snapshot of snapLen records.
+// A missing file or a file whose header line is torn yields an empty result
+// with hasHeader=false. A newline-terminated line that fails to parse is an
+// error (real corruption, not a torn append).
+func recoverWAL(path string, snapLen int) (recovered, error) {
+	var rec recovered
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return rec, nil
+	}
+	if err != nil {
+		return rec, err
+	}
+	var hdr walHeader
+	lineNo := 0
+	off := int64(0)
+	for len(data) > 0 {
+		nl := bytes.IndexByte(data, '\n')
+		if nl < 0 {
+			rec.tornBytes = int64(len(data))
+			break
+		}
+		line := data[:nl]
+		lineNo++
+		if lineNo == 1 {
+			if err := json.Unmarshal(line, &hdr); err != nil || hdr.Wal != 1 {
+				return rec, fmt.Errorf("histdb: %s: missing or invalid WAL header", path)
+			}
+			rec.hasHeader = true
+		} else {
+			var r Record
+			if err := json.Unmarshal(line, &r); err != nil {
+				return rec, fmt.Errorf("histdb: %s line %d: corrupt record: %w", path, lineNo, err)
+			}
+			rec.records = append(rec.records, r)
+		}
+		off += int64(nl) + 1
+		rec.goodSize = off
+		data = data[nl+1:]
+	}
+	if !rec.hasHeader {
+		// Only a torn header (or empty file): recover as a fresh log.
+		rec.records = nil
+		rec.goodSize = 0
+		return rec, nil
+	}
+	if hdr.SnapshotLen > snapLen {
+		return rec, fmt.Errorf("histdb: %s extends a snapshot of %d records but only %d are present — snapshot lost or rolled back",
+			path, hdr.SnapshotLen, snapLen)
+	}
+	// Records the snapshot already contains (an interrupted compaction, or a
+	// Save that folded a Load's view back in) are skipped, never replayed
+	// twice.
+	skip := snapLen - hdr.SnapshotLen
+	if skip > len(rec.records) {
+		skip = len(rec.records)
+	}
+	rec.skipped = skip
+	rec.records = rec.records[skip:]
+	return rec, nil
+}
+
+// VerifyResult reports the health of a WAL-backed database location.
+type VerifyResult struct {
+	SnapshotRecords int   // records in the snapshot file
+	LogRecords      int   // records the log contributes after recovery
+	SkippedRecords  int   // log records skipped as already in the snapshot
+	TornBytes       int64 // trailing torn bytes a recovery would discard
+}
+
+// Verify checks the snapshot + log pair at base without modifying either
+// file. A nil error means OpenWAL would recover everything except the
+// reported torn tail.
+func Verify(base string) (VerifyResult, error) {
+	var res VerifyResult
+	snap, err := loadSnapshot(base)
+	if err != nil {
+		return res, err
+	}
+	res.SnapshotRecords = len(snap)
+	rec, err := recoverWAL(walPath(base), len(snap))
+	res.LogRecords = len(rec.records)
+	res.SkippedRecords = rec.skipped
+	res.TornBytes = rec.tornBytes
+	return res, err
+}

@@ -231,3 +231,73 @@ func Map[T, R any](inputs []T, workers int, fn func(T) (R, error)) ([]R, []error
 	})
 	return out, errs
 }
+
+// MapStream is Map with ordered streaming delivery: fn runs on up to
+// workers goroutines, and deliver(i, out, err) is invoked on the calling
+// goroutine, in input order, as soon as element i and every earlier element
+// have completed — while later elements may still be in flight. Checkpoint
+// hooks use this to persist completed objective evaluations to a
+// write-ahead log mid-batch, in an order that depends only on the input
+// order (never on scheduling), so a crashed run's log is always a prefix of
+// the uninterrupted run's log. A non-nil error from deliver stops further
+// deliveries (in-flight fn calls still drain) and is returned; the full
+// out/errs slices are valid either way.
+func MapStream[T, R any](inputs []T, workers int, fn func(T) (R, error), deliver func(i int, out R, err error) error) ([]R, []error, error) {
+	n := len(inputs)
+	out := make([]R, n)
+	errs := make([]error, n)
+	if n == 0 {
+		return out, errs, nil
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		var derr error
+		for i := 0; i < n; i++ {
+			out[i], errs[i] = fn(inputs[i])
+			if derr == nil && deliver != nil {
+				derr = deliver(i, out[i], errs[i])
+			}
+		}
+		return out, errs, derr
+	}
+	idx := make(chan int, n)
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	completed := make(chan int, n)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				out[i], errs[i] = fn(inputs[i])
+				completed <- i
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(completed)
+	}()
+	// The calling goroutine is the collector: buffer out-of-order
+	// completions and deliver the contiguous prefix. The channel send above
+	// happens-after the worker's writes to out[i]/errs[i], so reading them
+	// here is race-free.
+	delivered := make([]bool, n)
+	next := 0
+	var derr error
+	for i := range completed {
+		delivered[i] = true
+		for next < n && delivered[next] {
+			if derr == nil && deliver != nil {
+				derr = deliver(next, out[next], errs[next])
+			}
+			next++
+		}
+	}
+	return out, errs, derr
+}
