@@ -1,0 +1,86 @@
+// Command gptuned serves GPTune studies over HTTP (the ask/tell workflow):
+// clients create a study, ask for configurations to run, and report
+// measurements back; the server runs the multitask MLA machinery and
+// persists every committed observation to a per-study write-ahead log, so
+// killing the daemon and restarting it resumes all studies losing at most
+// the evaluations that were in flight.
+//
+// Usage:
+//
+//	gptuned -addr :8731 -data ./studies
+//
+// API (JSON bodies):
+//
+//	POST /studies                  create a study from a StudySpec
+//	GET  /studies                  list study names
+//	GET  /studies/{s}              progress and status
+//	POST /studies/{s}/suggest      next configuration ({"task": n}, -1 = any)
+//	POST /studies/{s}/report       {"id", "y"} or {"id", "failed", "error"}
+//	GET  /studies/{s}/best         incumbent per task (objective 0)
+//	GET  /studies/{s}/pareto       non-dominated set per task
+//	GET  /studies/{s}/history      full evaluation history per task
+//	GET  /healthz                  liveness
+package main
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"flag"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8731", "listen address")
+		data     = flag.String("data", "gptuned-data", "data directory (study specs + history WALs)")
+		slots    = flag.Int("model-slots", 1, "studies allowed to run modeling/search concurrently")
+		maxBody  = flag.Int64("max-body", 1<<20, "request body size cap in bytes")
+		drainFor = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain timeout")
+	)
+	flag.Parse()
+
+	srv, err := serve.NewServer(serve.Config{DataDir: *data, ModelSlots: *slots, MaxBodyBytes: *maxBody})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gptuned:", err)
+		os.Exit(1)
+	}
+
+	hs := &http.Server{
+		Addr:    *addr,
+		Handler: srv.Handler(),
+		// Suggest can legitimately block while a batch's modeling phase
+		// runs, so there is no write timeout; slow-client abuse is bounded
+		// at the header and idle layers instead.
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() { //gptlint:ignore no-stray-goroutines shutdown watcher; joined via the errors it forces out of ListenAndServe
+		<-ctx.Done()
+		dctx, cancel := context.WithTimeout(context.Background(), *drainFor)
+		defer cancel()
+		// Shutdown drains in-flight handlers (including modeling-phase
+		// suggests) before ListenAndServe returns; only then is it safe to
+		// close the study WALs.
+		_ = hs.Shutdown(dctx)
+	}()
+
+	fmt.Println("gptuned: listening on", *addr, "data in", *data)
+	err = hs.ListenAndServe()
+	if cerr := srv.Close(); err == nil || err == http.ErrServerClosed {
+		err = cerr
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gptuned:", err)
+		os.Exit(1)
+	}
+}

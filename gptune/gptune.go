@@ -108,6 +108,29 @@ func Tune(p *Problem, tasks [][]float64, options Options) (*Result, error) {
 	return core.Run(p, tasks, options)
 }
 
+// Engine is the step-wise ask/tell form of the MLA loop: Suggest hands out
+// the next configuration, the caller evaluates it however it likes (no
+// in-process Objective needed), and Observe/Fail feed the outcome back.
+// Tune is a thin driver over it; the gptuned HTTP service is another.
+type (
+	Engine     = core.Engine
+	Suggestion = core.Suggestion
+)
+
+// ErrDone and ErrNonePending are the Engine's two sentinel conditions:
+// budget exhausted, and nothing to hand out until outstanding observations
+// arrive.
+var (
+	ErrDone        = core.ErrDone
+	ErrNonePending = core.ErrNonePending
+)
+
+// NewEngine builds an ask/tell engine over the problem and native task
+// vectors. The problem may omit Objective — evaluations are the caller's.
+func NewEngine(p *Problem, tasks [][]float64, options Options) (*Engine, error) {
+	return core.NewEngine(p, tasks, options)
+}
+
 // SampleTasks draws δ feasible task vectors from the problem's task space
 // (the paper's first sampling step, used when the user does not supply a
 // task list).

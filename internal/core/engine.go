@@ -1,0 +1,486 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/gp"
+	"repro/internal/mpx"
+	"repro/internal/sample"
+)
+
+// ErrDone reports that a study's evaluation budget is exhausted: every task
+// has received its EpsTot evaluations and no further suggestions exist.
+var ErrDone = errors.New("core: tuning budget exhausted")
+
+// ErrNonePending reports that the engine cannot hand out a suggestion right
+// now: the current batch's remaining configurations are all outstanding with
+// other callers, and the next batch cannot be generated until they are
+// observed. Callers should report pending observations (or retry later).
+var ErrNonePending = errors.New("core: no suggestion pending until outstanding observations are reported")
+
+// Suggestion is one configuration the engine wants evaluated: ask for it
+// with Suggest, run the application, and hand the outputs back to Observe
+// (or Fail, if the evaluation errored) using the same ID.
+type Suggestion struct {
+	ID    int64     // opaque handle tying Observe/Fail back to this suggestion
+	Task  int       // index into the engine's task list
+	Phase string    // "init", "search" (Algorithm 1) or "mo" (Algorithm 2)
+	X     []float64 // native configuration to evaluate (caller-owned copy)
+}
+
+// engJob is one suggestion's lifecycle inside the engine. requested is the
+// configuration the sampler/search originally asked for; x starts equal and
+// diverges when Fail substitutes fresh feasible draws.
+type engJob struct {
+	id        int64
+	task      int
+	phase     string
+	requested []float64
+	x         []float64
+	y         []float64
+	retrySeed int64
+	rng       *rand.Rand // lazily created on first Fail; fixed at generation
+	attempts  int
+	lastErr   error
+	issued    bool
+	observed  bool
+	dead      bool // failed terminally; blocks its batch forever
+}
+
+func (j *engJob) suggestion() Suggestion {
+	return Suggestion{ID: j.id, Task: j.task, Phase: j.phase, X: append([]float64(nil), j.x...)}
+}
+
+// Engine is the step-wise ask/tell form of the MLA loop: Suggest hands out
+// the next configuration to evaluate, Observe feeds the measured outputs
+// back, and the engine runs the sample→model→search machinery of Algorithms
+// 1/2 internally, one batch at a time. The batch Run driver and the gptuned
+// HTTP service are both thin clients of this type.
+//
+// Determinism contract: observations commit to the tuning history in the
+// batch's canonical generation order, no matter which order Observe calls
+// arrive in (out-of-order observations buffer until their predecessors
+// land). The history — and therefore every later modeling/search decision —
+// is bitwise identical to the batch driver's for the same problem, tasks,
+// seed and options. Checkpoint deliveries follow the same canonical order,
+// so the PR 3 WAL replay path resumes ask/tell studies unchanged.
+//
+// All methods are safe for concurrent use; the engine serializes itself
+// through one mutex (suggestion generation — the modeling phase — runs
+// under it, so concurrent callers block until the new batch is ready).
+type Engine struct {
+	mu    sync.Mutex
+	st    *state
+	start time.Time
+
+	batch      []*engJob // current batch, canonical order
+	nextCommit int       // first uncommitted index in batch
+	byID       map[int64]*engJob
+	nextID     int64
+
+	initGenerated bool
+	priorsMerged  bool
+	fatal         error
+}
+
+// NewEngine builds an ask/tell engine over the problem and native task
+// vectors. Unlike Run, the problem needs no Objective — evaluations are the
+// caller's job. The options mean exactly what they mean for Run; Workers
+// bounds the internal modeling/search parallelism, and ModelGate (if set)
+// bounds how many engines model concurrently.
+func NewEngine(p *Problem, tasks [][]float64, options Options) (*Engine, error) {
+	if err := p.validateForEngine(); err != nil {
+		return nil, err
+	}
+	if len(tasks) == 0 {
+		return nil, errors.New("core: no tasks given")
+	}
+	options.defaults()
+	st := &state{
+		p:     p,
+		opts:  options,
+		tasks: tasks,
+		X:     make([][][]float64, len(tasks)),
+		Y:     make([][][]float64, len(tasks)),
+		done:  make([]int, len(tasks)),
+		rng:   rand.New(rand.NewSource(options.Seed)),
+	}
+	if p.Model != nil {
+		st.coeffs = append([]float64(nil), p.Model.Coeffs...)
+	}
+	return &Engine{st: st, start: st.opts.now(), byID: make(map[int64]*engJob)}, nil
+}
+
+// Suggest returns the next configuration to evaluate for the given task
+// (task = -1 means any task). When every fresh configuration of the current
+// batch is already handed out, the outstanding one is returned again — a
+// crashed caller can re-ask — and ErrNonePending is returned only when no
+// unobserved configuration for the task exists at all. ErrDone signals the
+// budget is exhausted.
+func (e *Engine) Suggest(task int) (Suggestion, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if task < -1 || task >= len(e.st.tasks) {
+		return Suggestion{}, fmt.Errorf("core: engine: task %d out of range (have %d tasks)", task, len(e.st.tasks))
+	}
+	if err := e.ensureBatch(); err != nil {
+		return Suggestion{}, err
+	}
+	if len(e.batch) == 0 {
+		return Suggestion{}, ErrDone
+	}
+	for _, j := range e.batch[e.nextCommit:] {
+		if j.observed || j.dead || j.issued || (task >= 0 && j.task != task) {
+			continue
+		}
+		j.issued = true
+		return j.suggestion(), nil
+	}
+	for _, j := range e.batch[e.nextCommit:] {
+		if j.observed || j.dead || !j.issued || (task >= 0 && j.task != task) {
+			continue
+		}
+		return j.suggestion(), nil
+	}
+	return Suggestion{}, ErrNonePending
+}
+
+// SuggestAll hands out every not-yet-issued configuration of the current
+// batch at once (generating the next batch first if the previous one is
+// fully committed). An empty slice with a nil error means the budget is
+// exhausted. This is the batch driver's path: one call per MLA iteration.
+func (e *Engine) SuggestAll() ([]Suggestion, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := e.ensureBatch(); err != nil {
+		return nil, err
+	}
+	var out []Suggestion
+	for _, j := range e.batch[e.nextCommit:] {
+		if j.observed || j.dead || j.issued {
+			continue
+		}
+		j.issued = true
+		out = append(out, j.suggestion())
+	}
+	return out, nil
+}
+
+// Observe reports the measured outputs for a previously suggested
+// configuration. The observation is validated, buffered, and committed to
+// the tuning history as soon as every earlier configuration of its batch
+// has committed (canonical-order prefix commit); each commit is streamed to
+// Options.Checkpoint. A checkpoint failure is fatal to the engine.
+func (e *Engine) Observe(id int64, y []float64) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.fatal != nil {
+		return e.fatal
+	}
+	j, ok := e.byID[id]
+	if !ok || !j.issued || j.observed || j.dead {
+		return fmt.Errorf("core: engine: no pending suggestion %d", id)
+	}
+	if err := e.st.p.checkOutputs(y); err != nil {
+		return err
+	}
+	j.y = append([]float64(nil), y...)
+	j.observed = true
+	if e.st.p.Objective == nil {
+		e.st.evals.Add(1) // caller-evaluated; count it for the telemetry
+	}
+	return e.commitReady()
+}
+
+// Fail reports that evaluating a suggestion errored. The engine substitutes
+// a fresh feasible configuration (drawn from the job's own deterministic
+// retry stream, fixed at generation time) and returns it under the same ID;
+// after three failed attempts it gives up and returns the terminal error,
+// wrapping the last cause.
+func (e *Engine) Fail(id int64, cause error) (Suggestion, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.fatal != nil {
+		return Suggestion{}, e.fatal
+	}
+	j, ok := e.byID[id]
+	if !ok || !j.issued || j.observed || j.dead {
+		return Suggestion{}, fmt.Errorf("core: engine: no pending suggestion %d", id)
+	}
+	if cause == nil {
+		cause = errors.New("evaluation failed")
+	}
+	j.lastErr = cause
+	j.attempts++
+	if j.rng == nil {
+		j.rng = rand.New(rand.NewSource(j.retrySeed))
+	}
+	pts, serr := sample.FeasibleUniform(e.st.p.Tuning, 1, j.rng)
+	if serr != nil {
+		j.dead = true
+		return Suggestion{}, serr
+	}
+	j.x = pts[0]
+	if j.attempts >= 3 {
+		j.dead = true
+		return Suggestion{}, fmt.Errorf("core: objective failed after retries: %w", j.lastErr)
+	}
+	return j.suggestion(), nil
+}
+
+// Done reports whether the budget is exhausted and every observation has
+// committed.
+func (e *Engine) Done() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.initGenerated && e.nextCommit == len(e.batch) && e.st.minDone() >= e.st.opts.EpsTot
+}
+
+// Err returns the engine's fatal error (a checkpoint failure or a
+// generation failure), if any.
+func (e *Engine) Err() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.fatal
+}
+
+// Result packages everything observed so far — valid mid-study (partial
+// history) and after Done.
+func (e *Engine) Result() *Result {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	res := e.st.partialResult()
+	res.Stats.Total = e.st.opts.since(e.start)
+	return res
+}
+
+// ensureBatch generates batches until one has uncommitted work (or the
+// budget is exhausted, leaving an empty batch). A resumed run's checkpoint
+// may satisfy entire batches at generation time, so this loops: a fully
+// autofilled batch commits immediately and the next one is generated.
+// Called with e.mu held.
+func (e *Engine) ensureBatch() error {
+	if e.fatal != nil {
+		return e.fatal
+	}
+	st := e.st
+	for e.nextCommit == len(e.batch) {
+		if e.initGenerated && !e.priorsMerged {
+			if err := st.mergePriors(); err != nil {
+				e.fatal = err
+				return err
+			}
+			e.priorsMerged = true
+		}
+		if e.initGenerated && st.minDone() >= st.opts.EpsTot {
+			e.batch, e.nextCommit = nil, 0
+			return nil
+		}
+		var jobs []*engJob
+		var err error
+		if !e.initGenerated {
+			jobs, err = e.genInit()
+			e.initGenerated = true
+		} else {
+			// Modeling+search is the expensive phase; a shared gate keeps
+			// concurrent studies (each with its own engine) from
+			// oversubscribing the machine.
+			if gate := st.opts.ModelGate; gate != nil {
+				gate.Acquire()
+			}
+			if st.p.Model != nil && st.opts.FitModelCoeffs && len(st.coeffs) > 0 {
+				t0 := st.opts.now()
+				st.fitModelCoeffs()
+				st.stats.ModelUpdate += st.opts.since(t0)
+			}
+			if st.p.Outputs.Dim() == 1 {
+				jobs, err = e.genSearchSingle()
+			} else {
+				jobs, err = e.genSearchMulti()
+			}
+			if gate := st.opts.ModelGate; gate != nil {
+				gate.Release()
+			}
+		}
+		if err != nil {
+			e.fatal = err
+			return err
+		}
+		e.batch, e.nextCommit = jobs, 0
+		// A resumed run satisfies already-logged evaluations from the
+		// checkpoint instead of re-paying them (the log stores both the
+		// requested and the finally-evaluated configuration, so even a
+		// retried evaluation replays without consuming retry-RNG draws).
+		if cp := st.opts.Checkpoint; cp != nil {
+			for _, j := range jobs {
+				if fx, fy, ok := cp.Lookup(st.tasks[j.task], j.requested); ok {
+					j.x, j.y, j.observed = fx, fy, true
+				}
+			}
+		}
+		if err := e.commitReady(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// commitReady commits the contiguous observed prefix of the current batch:
+// each job is streamed to the checkpoint first (write-ahead), then appended
+// to the tuning history. Called with e.mu held.
+func (e *Engine) commitReady() error {
+	st := e.st
+	for e.nextCommit < len(e.batch) {
+		j := e.batch[e.nextCommit]
+		if !j.observed {
+			return nil
+		}
+		if err := st.checkpointEval(j.phase, j.task, j.requested, j.x, j.y); err != nil {
+			err = fmt.Errorf("core: checkpoint: %w", err)
+			e.fatal = err
+			return err
+		}
+		st.X[j.task] = append(st.X[j.task], j.x)
+		st.Y[j.task] = append(st.Y[j.task], j.y)
+		st.done[j.task]++
+		e.nextCommit++
+		delete(e.byID, j.id)
+	}
+	return nil
+}
+
+// genInit implements Algorithm 1 line 1: ε_tot/2 feasible LHS
+// configurations per task. The retry seed is salted with the job index, not
+// just the task: two failing configurations of the same task must draw
+// distinct replacement points (a task-only seed made them collide).
+func (e *Engine) genInit() ([]*engJob, error) {
+	st := e.st
+	eps := int(math.Round(float64(st.opts.EpsTot) * st.opts.InitFraction))
+	if eps < 1 {
+		eps = 1
+	}
+	if eps >= st.opts.EpsTot {
+		eps = st.opts.EpsTot - 1
+	}
+	var jobs []*engJob
+	for i := range st.tasks {
+		pts, err := sample.FeasibleLHS(st.p.Tuning, eps, st.rng)
+		if err != nil {
+			return nil, fmt.Errorf("core: initial sampling for task %d: %w", i, err)
+		}
+		for _, x := range pts {
+			jobs = append(jobs, &engJob{task: i, phase: "init", requested: x, x: x})
+		}
+	}
+	for idx, j := range jobs {
+		j.id = e.nextID
+		e.nextID++
+		j.retrySeed = st.opts.Seed ^ hash3(j.task, idx, len(jobs))
+		e.byID[j.id] = j
+	}
+	return jobs, nil
+}
+
+// genSearchSingle performs one Algorithm 1 generation: modeling phase (fit
+// the joint LCM on all data) then search phase (per-task EI maximization by
+// PSO), producing the next batch of configurations in (task, slot) order.
+func (e *Engine) genSearchSingle() ([]*engJob, error) {
+	st := e.st
+	fs := st.buildFeatureScale()
+	ms := st.minSamples()
+
+	t0 := st.opts.now()
+	data, tv := st.buildDataset(0, fs)
+	model, err := gp.FitLCM(data, gp.FitOptions{
+		Q:         st.opts.Q,
+		NumStarts: st.opts.NumStarts,
+		Workers:   st.opts.Workers,
+		MaxIter:   st.opts.ModelMaxIter,
+		Seed:      st.opts.Seed + int64(ms),
+	})
+	st.stats.Modeling += st.opts.since(t0)
+	if err != nil {
+		return nil, fmt.Errorf("core: modeling phase: %w", err)
+	}
+
+	// Search phase: per task, maximize the acquisition over the feasible
+	// tuning space (BatchEvals configurations per task, spread by distance
+	// penalization).
+	t1 := st.opts.now()
+	newX := make([][][]float64, len(st.tasks))
+	mpx.ParallelFor(len(st.tasks), st.opts.Workers, func(i int) {
+		newX[i] = st.searchBatch(i, model, tv, fs)
+	})
+	st.stats.Search += st.opts.since(t1)
+
+	return e.jobsFromSearch(newX, "search", ms), nil
+}
+
+// genSearchMulti performs one Algorithm 2 generation: one LCM per objective
+// in the modeling phase, then per-task NSGA-II search over the vector of
+// per-objective Expected Improvements.
+func (e *Engine) genSearchMulti() ([]*engJob, error) {
+	st := e.st
+	gamma := st.p.Outputs.Dim()
+	fs := st.buildFeatureScale()
+	ms := st.minSamples()
+
+	t0 := st.opts.now()
+	models := make([]*gp.LCM, gamma)
+	transforms := make([]func(float64) float64, gamma)
+	for s := 0; s < gamma; s++ {
+		data, tv := st.buildDataset(s, fs)
+		model, err := gp.FitLCM(data, gp.FitOptions{
+			Q:         st.opts.Q,
+			NumStarts: st.opts.NumStarts,
+			Workers:   st.opts.Workers,
+			MaxIter:   st.opts.ModelMaxIter,
+			Seed:      st.opts.Seed + int64(ms)*31 + int64(s),
+		})
+		if err != nil {
+			st.stats.Modeling += st.opts.since(t0)
+			return nil, fmt.Errorf("core: modeling phase (objective %d): %w", s, err)
+		}
+		models[s] = model
+		transforms[s] = tv
+	}
+	st.stats.Modeling += st.opts.since(t0)
+
+	t1 := st.opts.now()
+	newX := make([][][]float64, len(st.tasks))
+	mpx.ParallelFor(len(st.tasks), st.opts.Workers, func(i int) {
+		newX[i] = st.searchMO(i, models, transforms, fs)
+	})
+	st.stats.Search += st.opts.since(t1)
+
+	return e.jobsFromSearch(newX, "mo", ms), nil
+}
+
+// jobsFromSearch flattens per-task search output into a canonical-order
+// batch. The retry seed reuses the (task·64+slot, minSamples) salt the
+// evaluation loop always used, with minSamples frozen pre-batch.
+func (e *Engine) jobsFromSearch(newX [][][]float64, phase string, ms int) []*engJob {
+	st := e.st
+	var jobs []*engJob
+	for i := range newX {
+		for b, x := range newX[i] {
+			j := &engJob{
+				id:        e.nextID,
+				task:      i,
+				phase:     phase,
+				requested: x,
+				x:         x,
+				retrySeed: st.opts.Seed ^ hash2(i*64+b, ms),
+			}
+			e.nextID++
+			e.byID[j.id] = j
+			jobs = append(jobs, j)
+		}
+	}
+	return jobs
+}

@@ -2,7 +2,6 @@ package core
 
 import (
 	"context"
-	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -28,61 +27,86 @@ func Run(p *Problem, tasks [][]float64, options Options) (*Result, error) {
 // allowed to finish — the engine never abandons a worker mid-call). On
 // cancellation the samples gathered so far are returned along with the
 // context's error, so anytime performance is preserved.
+//
+// Run is a thin driver over the ask/tell Engine: each loop turn asks for
+// the next batch of suggestions (SuggestAll runs the modeling and search
+// phases), evaluates them concurrently over Options.Workers, and feeds the
+// outputs back through Observe in the batch's canonical order — the same
+// scheduling-independent order the checkpoint stream has always used.
 func RunContext(ctx context.Context, p *Problem, tasks [][]float64, options Options) (*Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	if len(tasks) == 0 {
-		return nil, errors.New("core: no tasks given")
-	}
-	options.defaults()
-	start := options.now()
-
-	st := &state{
-		p:     p,
-		opts:  options,
-		tasks: tasks,
-		X:     make([][][]float64, len(tasks)),
-		Y:     make([][][]float64, len(tasks)),
-		done:  make([]int, len(tasks)),
-		rng:   rand.New(rand.NewSource(options.Seed)),
-	}
-	if p.Model != nil {
-		st.coeffs = append([]float64(nil), p.Model.Coeffs...)
-	}
-
-	if err := st.initialSampling(); err != nil {
+	e, err := NewEngine(p, tasks, options)
+	if err != nil {
 		return nil, err
 	}
-	if err := st.mergePriors(); err != nil {
-		return nil, err
-	}
+	st := e.st
+	opts := &st.opts // defaulted copy
 
-	gamma := p.Outputs.Dim()
-	for st.minDone() < options.EpsTot {
-		if err := ctx.Err(); err != nil {
-			res := st.partialResult()
-			res.Stats.Total = options.since(start)
-			return res, err
+	first := true
+	for {
+		if !first {
+			if err := ctx.Err(); err != nil {
+				res := st.partialResult()
+				res.Stats.Total = opts.since(e.start)
+				return res, err
+			}
 		}
-		if p.Model != nil && options.FitModelCoeffs && len(st.coeffs) > 0 {
-			t0 := options.now()
-			st.fitModelCoeffs()
-			st.stats.ModelUpdate += options.since(t0)
-		}
-		var err error
-		if gamma == 1 {
-			err = st.iterateSingle()
-		} else {
-			err = st.iterateMulti()
-		}
+		suggs, err := e.SuggestAll()
 		if err != nil {
 			return nil, err
+		}
+		if len(suggs) == 0 {
+			break
+		}
+		first = false
+
+		// Evaluate the batch concurrently (Section 4.2). Evaluation errors
+		// retry through the engine (fresh feasible draws from the job's own
+		// deterministic retry stream); MapStream delivers completions in
+		// canonical order so Observe commits — and checkpoints — them in an
+		// order independent of goroutine scheduling.
+		type outcome struct {
+			id int64
+			y  []float64
+		}
+		t0 := opts.now()
+		_, errs, derr := mpx.MapStream(suggs, opts.Workers, func(sg Suggestion) (outcome, error) {
+			x := sg.X
+			for {
+				y, err := st.evalRepeated(st.tasks[sg.Task], x)
+				if err == nil {
+					return outcome{id: sg.ID, y: y}, nil
+				}
+				next, ferr := e.Fail(sg.ID, err)
+				if ferr != nil {
+					return outcome{}, ferr
+				}
+				x = next.X
+			}
+		}, func(k int, o outcome, err error) error {
+			if err != nil {
+				return nil // evaluation errors are reported by the loop below
+			}
+			return e.Observe(o.id, o.y)
+		})
+		st.stats.Objective += opts.since(t0)
+		if derr != nil {
+			return nil, derr
+		}
+		for k := range suggs {
+			if errs[k] != nil {
+				if suggs[k].Phase == "init" {
+					return nil, fmt.Errorf("core: evaluating task %d: %w", suggs[k].Task, errs[k])
+				}
+				return nil, errs[k]
+			}
 		}
 	}
 
 	res := st.partialResult()
-	st.stats.Total = options.since(start)
+	st.stats.Total = opts.since(e.start)
 	res.Stats = st.stats
 	return res, nil
 }
@@ -174,63 +198,6 @@ func (st *state) minSamples() int {
 	return m
 }
 
-// initialSampling implements Algorithm 1 line 1: ε_tot/2 feasible LHS
-// configurations per task, all evaluated (in parallel over Workers).
-func (st *state) initialSampling() error {
-	eps := int(math.Round(float64(st.opts.EpsTot) * st.opts.InitFraction))
-	if eps < 1 {
-		eps = 1
-	}
-	if eps >= st.opts.EpsTot {
-		eps = st.opts.EpsTot - 1
-	}
-	type job struct {
-		idx  int // position in the batch; salts the retry RNG
-		task int
-		x    []float64
-	}
-	var jobs []job
-	for i := range st.tasks {
-		pts, err := sample.FeasibleLHS(st.p.Tuning, eps, st.rng)
-		if err != nil {
-			return fmt.Errorf("core: initial sampling for task %d: %w", i, err)
-		}
-		for _, x := range pts {
-			jobs = append(jobs, job{idx: len(jobs), task: i, x: x})
-		}
-	}
-	t0 := st.opts.now()
-	type outcome struct {
-		x []float64
-		y []float64
-	}
-	// The retry RNG is salted with the job index, not just the task: two
-	// failing configurations of the same task must draw distinct
-	// replacement points (a task-only seed made them collide).
-	results, errs, derr := mpx.MapStream(jobs, st.opts.Workers, func(j job) (outcome, error) {
-		x, y, err := st.evalWithRetry(j.task, j.x, rand.New(rand.NewSource(st.opts.Seed^hash3(j.task, j.idx, len(jobs)))))
-		return outcome{x: x, y: y}, err
-	}, func(k int, r outcome, err error) error {
-		if err != nil {
-			return nil // evaluation errors are reported by the loop below
-		}
-		return st.checkpointEval("init", jobs[k].task, jobs[k].x, r.x, r.y)
-	})
-	st.stats.Objective += st.opts.since(t0)
-	if derr != nil {
-		return fmt.Errorf("core: checkpoint: %w", derr)
-	}
-	for k, j := range jobs {
-		if errs[k] != nil {
-			return fmt.Errorf("core: evaluating task %d: %w", j.task, errs[k])
-		}
-		st.X[j.task] = append(st.X[j.task], results[k].x)
-		st.Y[j.task] = append(st.Y[j.task], results[k].y)
-		st.done[j.task]++
-	}
-	return nil
-}
-
 func hash2(a, b int) int64 {
 	return int64(a)*1000003 + int64(b)*7919
 }
@@ -250,37 +217,9 @@ func (st *state) checkpointEval(phase string, task int, requested, x, y []float6
 	return cp.Eval(CheckpointRecord{Phase: phase, Task: st.tasks[task], Requested: requested, X: x, Y: y})
 }
 
-// evalWithRetry runs the objective with the configured repeat count (taking
-// the componentwise minimum, the paper's noise mitigation) and retries with
-// fresh random feasible configurations when the objective errors or returns
-// non-finite values.
-func (st *state) evalWithRetry(task int, x []float64, rng *rand.Rand) ([]float64, []float64, error) {
-	t := st.tasks[task]
-	// A resumed run satisfies already-logged evaluations from the
-	// checkpoint instead of re-paying the objective (the log stores both
-	// the requested and the finally-evaluated configuration, so even a
-	// retried evaluation replays without consuming rng draws).
-	if cp := st.opts.Checkpoint; cp != nil {
-		if fx, fy, ok := cp.Lookup(t, x); ok {
-			return fx, fy, nil
-		}
-	}
-	var lastErr error
-	for attempt := 0; attempt < 3; attempt++ {
-		y, err := st.evalRepeated(t, x)
-		if err == nil {
-			return x, y, nil
-		}
-		lastErr = err
-		pts, serr := sample.FeasibleUniform(st.p.Tuning, 1, rng)
-		if serr != nil {
-			return nil, nil, serr
-		}
-		x = pts[0]
-	}
-	return nil, nil, fmt.Errorf("core: objective failed after retries: %w", lastErr)
-}
-
+// evalRepeated runs the objective with the configured repeat count, taking
+// the componentwise minimum (the paper's noise mitigation). Retries on
+// error are the Engine's job (see Engine.Fail).
 func (st *state) evalRepeated(t, x []float64) ([]float64, error) {
 	var best []float64
 	for r := 0; r < st.opts.Repeats; r++ {
@@ -488,73 +427,6 @@ func defaultFitCoeffs(m *PerfModel, tasks, xs [][]float64, ys []float64, current
 	}
 	res := opt.NelderMead(loss, n, opt.NelderMeadParams{MaxEvals: 200 * n, Start: start}, rng)
 	return decode(res.X)
-}
-
-// iterateSingle performs one Algorithm 1 iteration: modeling phase (fit the
-// joint LCM on all data) then search phase (per-task EI maximization by PSO)
-// then one evaluation per task.
-func (st *state) iterateSingle() error {
-	fs := st.buildFeatureScale()
-
-	t0 := st.opts.now()
-	data, tv := st.buildDataset(0, fs)
-	model, err := gp.FitLCM(data, gp.FitOptions{
-		Q:         st.opts.Q,
-		NumStarts: st.opts.NumStarts,
-		Workers:   st.opts.Workers,
-		MaxIter:   st.opts.ModelMaxIter,
-		Seed:      st.opts.Seed + int64(st.minSamples()),
-	})
-	st.stats.Modeling += st.opts.since(t0)
-	if err != nil {
-		return fmt.Errorf("core: modeling phase: %w", err)
-	}
-
-	// Search phase: per task, maximize the acquisition over the feasible
-	// tuning space (BatchEvals configurations per task, spread by distance
-	// penalization).
-	t1 := st.opts.now()
-	newX := make([][][]float64, len(st.tasks))
-	mpx.ParallelFor(len(st.tasks), st.opts.Workers, func(i int) {
-		newX[i] = st.searchBatch(i, model, tv, fs)
-	})
-	st.stats.Search += st.opts.since(t1)
-
-	// Evaluate the new configurations concurrently (Section 4.2).
-	t2 := st.opts.now()
-	type job struct{ task, slot int }
-	var jobs []job
-	for i := range newX {
-		for b := range newX[i] {
-			jobs = append(jobs, job{task: i, slot: b})
-		}
-	}
-	type outcome struct {
-		x, y []float64
-	}
-	results, errs, derr := mpx.MapStream(jobs, st.opts.Workers, func(j job) (outcome, error) {
-		rng := rand.New(rand.NewSource(st.opts.Seed ^ hash2(j.task*64+j.slot, st.minSamples())))
-		x, y, err := st.evalWithRetry(j.task, newX[j.task][j.slot], rng)
-		return outcome{x: x, y: y}, err
-	}, func(k int, r outcome, err error) error {
-		if err != nil {
-			return nil
-		}
-		return st.checkpointEval("search", jobs[k].task, newX[jobs[k].task][jobs[k].slot], r.x, r.y)
-	})
-	st.stats.Objective += st.opts.since(t2)
-	if derr != nil {
-		return fmt.Errorf("core: checkpoint: %w", derr)
-	}
-	for k, j := range jobs {
-		if errs[k] != nil {
-			return errs[k]
-		}
-		st.X[j.task] = append(st.X[j.task], results[k].x)
-		st.Y[j.task] = append(st.Y[j.task], results[k].y)
-		st.done[j.task]++
-	}
-	return nil
 }
 
 // acquisition converts a posterior prediction into a score to *minimize*.

@@ -1,86 +1,15 @@
 package core
 
 import (
-	"fmt"
 	"math"
 	"math/rand"
 	"sort"
 
 	"repro/internal/acq"
 	"repro/internal/gp"
-	"repro/internal/mpx"
 	"repro/internal/opt"
 	"repro/internal/sample"
 )
-
-// iterateMulti performs one Algorithm 2 iteration: the modeling phase builds
-// one LCM per objective, and the search phase runs NSGA-II per task on the
-// vector of per-objective Expected Improvements (Pareto dominance + crowding
-// distance, as in the paper) to propose k = MOBatch new configurations.
-func (st *state) iterateMulti() error {
-	gamma := st.p.Outputs.Dim()
-	fs := st.buildFeatureScale()
-
-	t0 := st.opts.now()
-	models := make([]*gp.LCM, gamma)
-	transforms := make([]func(float64) float64, gamma)
-	for s := 0; s < gamma; s++ {
-		data, tv := st.buildDataset(s, fs)
-		model, err := gp.FitLCM(data, gp.FitOptions{
-			Q:         st.opts.Q,
-			NumStarts: st.opts.NumStarts,
-			Workers:   st.opts.Workers,
-			MaxIter:   st.opts.ModelMaxIter,
-			Seed:      st.opts.Seed + int64(st.minSamples())*31 + int64(s),
-		})
-		if err != nil {
-			return fmt.Errorf("core: modeling phase (objective %d): %w", s, err)
-		}
-		models[s] = model
-		transforms[s] = tv
-	}
-	st.stats.Modeling += st.opts.since(t0)
-
-	t1 := st.opts.now()
-	newX := make([][][]float64, len(st.tasks)) // [task][batch] native configs
-	mpx.ParallelFor(len(st.tasks), st.opts.Workers, func(i int) {
-		newX[i] = st.searchMO(i, models, transforms, fs)
-	})
-	st.stats.Search += st.opts.since(t1)
-
-	t2 := st.opts.now()
-	type job struct{ task, slot int }
-	var jobs []job
-	for i := range newX {
-		for b := range newX[i] {
-			jobs = append(jobs, job{task: i, slot: b})
-		}
-	}
-	type outcome struct{ x, y []float64 }
-	results, errs, derr := mpx.MapStream(jobs, st.opts.Workers, func(j job) (outcome, error) {
-		rng := rand.New(rand.NewSource(st.opts.Seed ^ hash2(j.task*64+j.slot, st.minSamples())))
-		x, y, err := st.evalWithRetry(j.task, newX[j.task][j.slot], rng)
-		return outcome{x: x, y: y}, err
-	}, func(k int, r outcome, err error) error {
-		if err != nil {
-			return nil
-		}
-		return st.checkpointEval("mo", jobs[k].task, newX[jobs[k].task][jobs[k].slot], r.x, r.y)
-	})
-	st.stats.Objective += st.opts.since(t2)
-	if derr != nil {
-		return fmt.Errorf("core: checkpoint: %w", derr)
-	}
-	for k, j := range jobs {
-		if errs[k] != nil {
-			return errs[k]
-		}
-		st.X[j.task] = append(st.X[j.task], results[k].x)
-		st.Y[j.task] = append(st.Y[j.task], results[k].y)
-		st.done[j.task]++
-	}
-	return nil
-}
 
 // searchMO returns up to MOBatch native configurations for task i chosen
 // from the NSGA-II front of the negated per-objective EI vector.

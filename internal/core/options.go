@@ -3,6 +3,7 @@ package core
 import (
 	"time"
 
+	"repro/internal/mpx"
 	"repro/internal/opt"
 )
 
@@ -62,6 +63,14 @@ type Options struct {
 
 	// Seed makes runs reproducible.
 	Seed int64
+
+	// ModelGate, when non-nil, bounds how many modeling/search generation
+	// phases run at once across every Engine sharing the gate. The tuning
+	// service hands all studies one gate so concurrent studies cannot
+	// oversubscribe the machine; each engine still parallelizes internally
+	// over its own Workers once it holds a slot. Tuning results never
+	// depend on the gate — it only delays generation.
+	ModelGate *mpx.Gate
 
 	// Checkpoint, when non-nil, receives every completed objective
 	// evaluation as it lands (mid-batch, in a scheduling-independent

@@ -55,14 +55,24 @@ type Problem struct {
 
 // Validate reports structural problems in the problem definition.
 func (p *Problem) Validate() error {
+	if err := p.validateForEngine(); err != nil {
+		return err
+	}
+	if p.Objective == nil {
+		return errors.New("core: problem needs an objective")
+	}
+	return nil
+}
+
+// validateForEngine is Validate minus the Objective requirement: an
+// ask/tell Engine's evaluations are performed by the caller (for example
+// gptuned's HTTP clients), so no in-process objective is needed.
+func (p *Problem) validateForEngine() error {
 	if p.Tasks == nil || p.Tuning == nil {
 		return errors.New("core: problem needs task and tuning spaces")
 	}
 	if p.Outputs == nil || p.Outputs.Dim() == 0 {
 		return errors.New("core: problem needs at least one output")
-	}
-	if p.Objective == nil {
-		return errors.New("core: problem needs an objective")
 	}
 	if p.Model != nil {
 		if p.Model.Dim <= 0 || p.Model.Eval == nil {

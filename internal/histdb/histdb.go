@@ -114,6 +114,14 @@ func writeFileDurable(path string, data []byte) error {
 	return syncDir(filepath.Dir(path))
 }
 
+// WriteFileDurable is the exported form of writeFileDurable, for callers
+// that persist their own metadata next to a history database — the tuning
+// service stores each study's specification this way, so a restart always
+// rebuilds the exact engine whose WAL it replays.
+func WriteFileDurable(path string, data []byte) error {
+	return writeFileDurable(path, data)
+}
+
 // syncDir fsyncs a directory so a just-renamed entry survives power loss.
 func syncDir(dir string) error {
 	d, err := os.Open(dir)

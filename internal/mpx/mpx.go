@@ -148,6 +148,29 @@ func (b *barrier) await() {
 	b.mu.Unlock()
 }
 
+// Gate bounds how many holders may be inside a region at once — a counting
+// semaphore. The tuning service shares one Gate across every study's engine
+// so that concurrent studies cannot oversubscribe the machine with parallel
+// modeling phases; each engine still parallelizes internally via its own
+// Workers option once it holds the gate.
+type Gate struct {
+	slots chan struct{}
+}
+
+// NewGate returns a gate admitting up to n concurrent holders (min 1).
+func NewGate(n int) *Gate {
+	if n < 1 {
+		n = 1
+	}
+	return &Gate{slots: make(chan struct{}, n)}
+}
+
+// Acquire blocks until a slot is free and takes it.
+func (g *Gate) Acquire() { g.slots <- struct{}{} }
+
+// Release frees a slot taken by Acquire.
+func (g *Gate) Release() { <-g.slots }
+
 // ParallelFor runs fn(i) for i ∈ [0, n) on up to workers goroutines and
 // blocks until all complete. workers ≤ 1 runs inline.
 func ParallelFor(n, workers int, fn func(i int)) {

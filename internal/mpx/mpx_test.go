@@ -258,3 +258,27 @@ func TestMapStreamSerialAndEmpty(t *testing.T) {
 		t.Fatalf("serial delivery: %v %v", order, err)
 	}
 }
+
+func TestGateBoundsConcurrency(t *testing.T) {
+	g := NewGate(2)
+	var cur, peak atomic.Int64
+	ParallelFor(16, 8, func(i int) {
+		g.Acquire()
+		n := cur.Add(1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+		cur.Add(-1)
+		g.Release()
+	})
+	if p := peak.Load(); p > 2 {
+		t.Fatalf("gate admitted %d concurrent holders, limit 2", p)
+	}
+	// A gate built with n < 1 still admits one holder (and releases).
+	g1 := NewGate(0)
+	g1.Acquire()
+	g1.Release()
+}

@@ -1,0 +1,491 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/histdb"
+	"repro/internal/mpx"
+)
+
+// Config configures a Server.
+type Config struct {
+	// DataDir holds one spec file and one history WAL per study. Created if
+	// missing; existing studies found there are resumed on startup.
+	DataDir string
+	// ModelSlots bounds how many studies run their modeling/search phase at
+	// once (each still parallelizes internally over its own Workers option).
+	// Default 1: concurrent studies interleave suggest calls but model one
+	// at a time.
+	ModelSlots int
+	// MaxBodyBytes caps every request body. Default 1 MiB.
+	MaxBodyBytes int64
+	// Clock overrides the wall clock used for phase telemetry and WAL
+	// stamps; nil means the real clock.
+	Clock func() time.Time
+}
+
+// Server hosts tuning studies over HTTP. Each study wraps one core.Engine
+// (which serializes itself), its spec persisted durably and every committed
+// observation appended to a per-study WAL, so killing the process loses at
+// most the evaluations that were still in flight.
+type Server struct {
+	cfg  Config
+	gate *mpx.Gate
+
+	mu      sync.Mutex
+	studies map[string]*study
+	closed  bool
+}
+
+type study struct {
+	spec StudySpec
+	eng  *core.Engine
+	cp   *core.Checkpointer
+}
+
+// NewServer creates the data directory if needed and resumes every study
+// whose spec file it finds there.
+func NewServer(cfg Config) (*Server, error) {
+	if cfg.DataDir == "" {
+		return nil, errors.New("serve: Config.DataDir is required")
+	}
+	if cfg.ModelSlots <= 0 {
+		cfg.ModelSlots = 1
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 1 << 20
+	}
+	if err := os.MkdirAll(cfg.DataDir, 0o755); err != nil {
+		return nil, err
+	}
+	s := &Server{cfg: cfg, gate: mpx.NewGate(cfg.ModelSlots), studies: make(map[string]*study)}
+	if err := s.resumeAll(); err != nil {
+		s.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+func (s *Server) specPath(name string) string {
+	return filepath.Join(s.cfg.DataDir, name+".spec.json")
+}
+
+func (s *Server) histPath(name string) string {
+	return filepath.Join(s.cfg.DataDir, name+".hist.json")
+}
+
+// resumeAll rebuilds every study found in the data directory, replaying its
+// WAL through the engine's checkpoint-autofill path.
+func (s *Server) resumeAll() error {
+	entries, err := os.ReadDir(s.cfg.DataDir)
+	if err != nil {
+		return err
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if n, ok := strings.CutSuffix(e.Name(), ".spec.json"); ok && !e.IsDir() {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		data, err := os.ReadFile(s.specPath(name))
+		if err != nil {
+			return err
+		}
+		var spec StudySpec
+		if err := json.Unmarshal(data, &spec); err != nil {
+			return fmt.Errorf("serve: parsing %s: %w", s.specPath(name), err)
+		}
+		if spec.Name != name {
+			return fmt.Errorf("serve: spec file %s names study %q", s.specPath(name), spec.Name)
+		}
+		st, err := s.openStudy(spec)
+		if err != nil {
+			return fmt.Errorf("serve: resuming study %s: %w", name, err)
+		}
+		s.studies[name] = st
+	}
+	return nil
+}
+
+// openStudy builds the engine for a spec, wiring the shared modeling gate
+// and a WAL-backed checkpointer (fresh or resumed — core.Resume treats a
+// missing log as a fresh run).
+func (s *Server) openStudy(spec StudySpec) (*study, error) {
+	prob, tasks, opts, err := spec.build()
+	if err != nil {
+		return nil, err
+	}
+	cp, err := core.Resume(s.histPath(spec.Name), core.CheckpointOptions{Problem: spec.Name, Clock: s.cfg.Clock})
+	if err != nil {
+		return nil, err
+	}
+	opts.Checkpoint = cp
+	opts.ModelGate = s.gate
+	opts.Clock = s.cfg.Clock
+	eng, err := core.NewEngine(prob, tasks, opts)
+	if err != nil {
+		cp.Close()
+		return nil, err
+	}
+	return &study{spec: spec, eng: eng, cp: cp}, nil
+}
+
+func (s *Server) lookup(name string) (*study, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.studies[name]
+	return st, ok
+}
+
+// Close flushes and closes every study's WAL. In-flight HTTP handlers should
+// be drained first (http.Server.Shutdown) so no commit races the close.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	names := make([]string, 0, len(s.studies))
+	for name := range s.studies {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var first error
+	for _, name := range names {
+		if err := s.studies[name].cp.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Handler returns the service's HTTP API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("POST /studies", s.handleCreate)
+	mux.HandleFunc("GET /studies", s.handleList)
+	mux.HandleFunc("GET /studies/{study}", s.handleStatus)
+	mux.HandleFunc("POST /studies/{study}/suggest", s.handleSuggest)
+	mux.HandleFunc("POST /studies/{study}/report", s.handleReport)
+	mux.HandleFunc("GET /studies/{study}/best", s.handleBest)
+	mux.HandleFunc("GET /studies/{study}/pareto", s.handlePareto)
+	mux.HandleFunc("GET /studies/{study}/history", s.handleHistory)
+	return mux
+}
+
+// writeJSON encodes v with a status code. Encoding errors past the header
+// cannot be reported to the client; they surface as a truncated body.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, errorBody{Error: err.Error()})
+}
+
+// decodeBody strict-decodes a JSON request body into v under the size cap.
+// An empty body leaves v untouched and returns nil, so requests with
+// all-default parameters can omit the body entirely.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil
+		}
+		return fmt.Errorf("serve: bad request body: %w", err)
+	}
+	return nil
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	n := len(s.studies)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "studies": n})
+}
+
+func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	var spec StudySpec
+	if err := s.decodeBody(w, r, &spec); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if _, _, _, err := spec.build(); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		writeError(w, http.StatusServiceUnavailable, errors.New("serve: server is shutting down"))
+		return
+	}
+	if _, exists := s.studies[spec.Name]; exists {
+		writeError(w, http.StatusConflict, fmt.Errorf("serve: study %s already exists", spec.Name))
+		return
+	}
+	// Persist the spec before opening the study: after a crash the spec on
+	// disk, not the client, is what rebuilds the engine the WAL replays.
+	data, err := json.MarshalIndent(&spec, "", " ")
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	if err := histdb.WriteFileDurable(s.specPath(spec.Name), data); err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	st, err := s.openStudy(spec)
+	if err != nil {
+		os.Remove(s.specPath(spec.Name))
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	s.studies[spec.Name] = st
+	writeJSON(w, http.StatusCreated, map[string]any{"name": spec.Name, "tasks": len(spec.Tasks)})
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	names := make([]string, 0, len(s.studies))
+	for name := range s.studies {
+		names = append(names, name)
+	}
+	s.mu.Unlock()
+	sort.Strings(names)
+	writeJSON(w, http.StatusOK, map[string]any{"studies": names})
+}
+
+// studyStatus is the GET /studies/{study} response.
+type studyStatus struct {
+	Name         string `json:"name"`
+	Tasks        int    `json:"tasks"`
+	Observations int    `json:"observations"` // committed evaluations across tasks
+	Logged       int    `json:"logged"`       // records in the WAL
+	Done         bool   `json:"done"`
+	Error        string `json:"error,omitempty"` // fatal engine error, if any
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.lookup(r.PathValue("study"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("serve: no study %s", r.PathValue("study")))
+		return
+	}
+	res := st.eng.Result()
+	obs := 0
+	for _, t := range res.Tasks {
+		obs += len(t.Y)
+	}
+	status := studyStatus{
+		Name:         st.spec.Name,
+		Tasks:        len(res.Tasks),
+		Observations: obs,
+		Logged:       st.cp.Logged(),
+		Done:         st.eng.Done(),
+	}
+	if err := st.eng.Err(); err != nil {
+		status.Error = err.Error()
+	}
+	writeJSON(w, http.StatusOK, status)
+}
+
+// suggestRequest is the POST /studies/{study}/suggest body. Task -1 (or an
+// empty body) asks for any task's next configuration.
+type suggestRequest struct {
+	Task int `json:"task"`
+}
+
+// suggestResponse carries one suggestion; exactly one of Done/Pending/the
+// suggestion fields is meaningful.
+type suggestResponse struct {
+	ID    int64     `json:"id"`
+	Task  int       `json:"task"`
+	Phase string    `json:"phase,omitempty"`
+	X     []float64 `json:"x,omitempty"`
+	Done  bool      `json:"done,omitempty"`
+}
+
+func (s *Server) handleSuggest(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.lookup(r.PathValue("study"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("serve: no study %s", r.PathValue("study")))
+		return
+	}
+	req := suggestRequest{Task: -1}
+	if err := s.decodeBody(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	sg, err := st.eng.Suggest(req.Task)
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusOK, suggestResponse{ID: sg.ID, Task: sg.Task, Phase: sg.Phase, X: sg.X})
+	case errors.Is(err, core.ErrDone):
+		writeJSON(w, http.StatusOK, suggestResponse{Done: true})
+	case errors.Is(err, core.ErrNonePending):
+		// Another client holds every outstanding configuration; retry once
+		// it reports.
+		writeError(w, http.StatusConflict, err)
+	default:
+		writeError(w, statusFor(err), err)
+	}
+}
+
+// reportRequest is the POST /studies/{study}/report body: either Y (the
+// measured outputs) or Failed (the evaluation errored; Error says why).
+type reportRequest struct {
+	ID     int64     `json:"id"`
+	Y      []float64 `json:"y,omitempty"`
+	Failed bool      `json:"failed,omitempty"`
+	Error  string    `json:"error,omitempty"`
+}
+
+// reportResponse acknowledges a report. After a failure the engine may hand
+// back a substitute configuration under the same ID (Retry); Terminal means
+// the configuration failed for good and the study cannot finish its batch.
+type reportResponse struct {
+	OK       bool             `json:"ok"`
+	Retry    *suggestResponse `json:"retry,omitempty"`
+	Terminal bool             `json:"terminal,omitempty"`
+	Error    string           `json:"error,omitempty"`
+}
+
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.lookup(r.PathValue("study"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("serve: no study %s", r.PathValue("study")))
+		return
+	}
+	var req reportRequest
+	if err := s.decodeBody(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Failed {
+		var cause error
+		if req.Error != "" {
+			cause = errors.New(req.Error)
+		}
+		next, err := st.eng.Fail(req.ID, cause)
+		switch {
+		case err == nil:
+			writeJSON(w, http.StatusOK, reportResponse{OK: true, Retry: &suggestResponse{
+				ID: next.ID, Task: next.Task, Phase: next.Phase, X: next.X,
+			}})
+		case strings.Contains(err.Error(), "failed after retries"):
+			writeJSON(w, http.StatusOK, reportResponse{OK: false, Terminal: true, Error: err.Error()})
+		default:
+			writeError(w, statusFor(err), err)
+		}
+		return
+	}
+	if err := st.eng.Observe(req.ID, req.Y); err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, reportResponse{OK: true})
+}
+
+// statusFor maps engine errors onto HTTP codes: unknown-ID and validation
+// mistakes are the client's fault, everything else (checkpoint IO, modeling
+// failures) is the server's.
+func statusFor(err error) int {
+	msg := err.Error()
+	if strings.Contains(msg, "no pending suggestion") {
+		return http.StatusNotFound
+	}
+	if strings.Contains(msg, "out of range") || strings.Contains(msg, "returned") ||
+		strings.Contains(msg, "non-finite") {
+		return http.StatusBadRequest
+	}
+	return http.StatusInternalServerError
+}
+
+// taskHistory is one task's slice of the GET history/best/pareto responses.
+type taskHistory struct {
+	Task []float64   `json:"task"`
+	X    [][]float64 `json:"x"`
+	Y    [][]float64 `json:"y"`
+}
+
+func (s *Server) handleHistory(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.lookup(r.PathValue("study"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("serve: no study %s", r.PathValue("study")))
+		return
+	}
+	res := st.eng.Result()
+	out := make([]taskHistory, len(res.Tasks))
+	for i, t := range res.Tasks {
+		out[i] = taskHistory{Task: t.Task, X: t.X, Y: t.Y}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"tasks": out})
+}
+
+// bestEntry is one task's incumbent for objective 0.
+type bestEntry struct {
+	Task []float64 `json:"task"`
+	X    []float64 `json:"x,omitempty"`
+	Y    []float64 `json:"y,omitempty"`
+}
+
+func (s *Server) handleBest(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.lookup(r.PathValue("study"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("serve: no study %s", r.PathValue("study")))
+		return
+	}
+	res := st.eng.Result()
+	out := make([]bestEntry, len(res.Tasks))
+	for i, t := range res.Tasks {
+		out[i] = bestEntry{Task: t.Task}
+		if len(t.Y) > 0 {
+			x, y := t.Best()
+			out[i].X, out[i].Y = x, y
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"tasks": out})
+}
+
+func (s *Server) handlePareto(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.lookup(r.PathValue("study"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("serve: no study %s", r.PathValue("study")))
+		return
+	}
+	res := st.eng.Result()
+	out := make([]taskHistory, len(res.Tasks))
+	for i, t := range res.Tasks {
+		out[i] = taskHistory{Task: t.Task, X: [][]float64{}, Y: [][]float64{}}
+		for _, idx := range t.ParetoFront() {
+			out[i].X = append(out[i].X, t.X[idx])
+			out[i].Y = append(out[i].Y, t.Y[idx])
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"tasks": out})
+}

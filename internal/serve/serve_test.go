@@ -1,0 +1,472 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/space"
+)
+
+// paperObjective is Eq. (11) of the paper, the analytical benchmark every
+// core test tunes. The HTTP client evaluates it out of process — the server
+// never sees an Objective.
+func paperObjective(t, x float64) float64 {
+	s := 0.0
+	for i := 1; i <= 5; i++ {
+		s += math.Sin(2 * math.Pi * x * math.Pow(t+2, float64(i)))
+	}
+	return 1 + math.Exp(-math.Pow(x+1, t+1))*math.Cos(2*math.Pi*x)*s
+}
+
+var testTasks = [][]float64{{0}, {1.5}, {3}}
+
+// testSpec is the wire form of the core tests' analyticalProblem.
+func testSpec(name string, epsTot int, seed int64) StudySpec {
+	return StudySpec{
+		Name:       name,
+		TaskParams: []ParamSpec{{Name: "t", Kind: "real", Lo: 0, Hi: 10}},
+		Tuning:     []ParamSpec{{Name: "x", Kind: "real", Lo: 0, Hi: 1}},
+		Outputs:    []string{"y"},
+		Tasks:      testTasks,
+		Options:    OptionsSpec{EpsTot: epsTot, Seed: seed, Workers: 1},
+	}
+}
+
+// testClient drives the JSON API against a base URL.
+type testClient struct {
+	t    *testing.T
+	base string
+}
+
+// post sends body and decodes the response into out (when non-nil),
+// returning the status code.
+func (c *testClient) post(path string, body, out any) int {
+	c.t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	resp, err := http.Post(c.base+path, "application/json", bytes.NewReader(data))
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			c.t.Fatalf("POST %s: decoding response: %v", path, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func (c *testClient) get(path string, out any) int {
+	c.t.Helper()
+	resp, err := http.Get(c.base + path)
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			c.t.Fatalf("GET %s: decoding response: %v", path, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// drive runs suggest/report cycles against a study until the budget is
+// exhausted (maxCycles < 0) or maxCycles evaluations were reported,
+// evaluating paperObjective client-side. Returns the number of evaluations
+// paid.
+func (c *testClient) drive(study string, tasks [][]float64, maxCycles int) int {
+	c.t.Helper()
+	paid := 0
+	for maxCycles < 0 || paid < maxCycles {
+		var sg suggestResponse
+		code := c.post("/studies/"+study+"/suggest", map[string]int{"task": -1}, &sg)
+		if code != http.StatusOK {
+			c.t.Fatalf("suggest: status %d", code)
+		}
+		if sg.Done {
+			break
+		}
+		y := paperObjective(tasks[sg.Task][0], sg.X[0])
+		paid++
+		var rep reportResponse
+		if code := c.post("/studies/"+study+"/report", reportRequest{ID: sg.ID, Y: []float64{y}}, &rep); code != http.StatusOK {
+			c.t.Fatalf("report: status %d", code)
+		}
+		if !rep.OK {
+			c.t.Fatalf("report not acknowledged: %+v", rep)
+		}
+	}
+	return paid
+}
+
+// history fetches the study's full evaluation history.
+func (c *testClient) history(study string) []taskHistory {
+	c.t.Helper()
+	var out struct {
+		Tasks []taskHistory `json:"tasks"`
+	}
+	if code := c.get("/studies/"+study+"/history", &out); code != http.StatusOK {
+		c.t.Fatalf("history: status %d", code)
+	}
+	return out.Tasks
+}
+
+func newTestServer(t *testing.T) (*Server, *testClient) {
+	t.Helper()
+	s, err := NewServer(Config{DataDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(s.Handler())
+	t.Cleanup(func() { hs.Close(); s.Close() })
+	return s, &testClient{t: t, base: hs.URL}
+}
+
+// TestServeParityWithBatchRun is the acceptance test for the ask/tell
+// service: a study driven entirely over HTTP — the server holds no
+// Objective; the client measures and reports — must visit bitwise the same
+// configurations and record bitwise the same outputs as the in-process
+// batch Run with the same spec, and land on the same best configuration.
+func TestServeParityWithBatchRun(t *testing.T) {
+	const epsTot, seed = 10, 42
+
+	batch, err := core.Run(&core.Problem{
+		Name:    "analytical",
+		Tasks:   space.MustNew(space.NewReal("t", 0, 10)),
+		Tuning:  space.MustNew(space.NewReal("x", 0, 1)),
+		Outputs: space.NewOutputSpace("y"),
+		Objective: func(task, x []float64) ([]float64, error) {
+			return []float64{paperObjective(task[0], x[0])}, nil
+		},
+	}, testTasks, core.Options{EpsTot: epsTot, Seed: seed, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	_, c := newTestServer(t)
+	if code := c.post("/studies", testSpec("parity", epsTot, seed), nil); code != http.StatusCreated {
+		t.Fatalf("create: status %d", code)
+	}
+	paid := c.drive("parity", testTasks, -1)
+	if want := epsTot * len(testTasks); paid != want {
+		t.Fatalf("paid %d evaluations, want %d", paid, want)
+	}
+
+	hist := c.history("parity")
+	if len(hist) != len(batch.Tasks) {
+		t.Fatalf("history has %d tasks, want %d", len(hist), len(batch.Tasks))
+	}
+	for ti := range hist {
+		h, b := hist[ti], batch.Tasks[ti]
+		if len(h.X) != len(b.X) {
+			t.Fatalf("task %d: %d evaluations over HTTP, %d in batch", ti, len(h.X), len(b.X))
+		}
+		for i := range h.X {
+			for d := range h.X[i] {
+				if math.Float64bits(h.X[i][d]) != math.Float64bits(b.X[i][d]) {
+					t.Errorf("task %d sample %d: X differs: %v vs %v", ti, i, h.X[i][d], b.X[i][d])
+				}
+			}
+			for k := range h.Y[i] {
+				if math.Float64bits(h.Y[i][k]) != math.Float64bits(b.Y[i][k]) {
+					t.Errorf("task %d sample %d: Y differs: %v vs %v", ti, i, h.Y[i][k], b.Y[i][k])
+				}
+			}
+		}
+	}
+
+	var best struct {
+		Tasks []bestEntry `json:"tasks"`
+	}
+	if code := c.get("/studies/parity/best", &best); code != http.StatusOK {
+		t.Fatalf("best: status %d", code)
+	}
+	for ti := range best.Tasks {
+		bx, by := batch.Tasks[ti].Best()
+		if math.Float64bits(best.Tasks[ti].X[0]) != math.Float64bits(bx[0]) ||
+			math.Float64bits(best.Tasks[ti].Y[0]) != math.Float64bits(by[0]) {
+			t.Errorf("task %d: best differs: (%v, %v) vs (%v, %v)",
+				ti, best.Tasks[ti].X[0], best.Tasks[ti].Y[0], bx[0], by[0])
+		}
+	}
+}
+
+// TestServeInProcessRestartResumes kills a study's server (in-process: the
+// Server is closed, a new one opens the same data directory) mid-study and
+// checks the resumed history matches an uninterrupted run bitwise, with no
+// committed evaluation re-paid.
+func TestServeInProcessRestartResumes(t *testing.T) {
+	const epsTot, seed, killAfter = 8, 7, 9
+
+	ref, rc := newTestServer(t)
+	_ = ref
+	if code := rc.post("/studies", testSpec("ref", epsTot, seed), nil); code != http.StatusCreated {
+		t.Fatalf("create ref: status %d", code)
+	}
+	rc.drive("ref", testTasks, -1)
+	want := rc.history("ref")
+
+	dir := t.TempDir()
+	s1, err := NewServer(Config{DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs1 := httptest.NewServer(s1.Handler())
+	c1 := &testClient{t: t, base: hs1.URL}
+	if code := c1.post("/studies", testSpec("crashy", epsTot, seed), nil); code != http.StatusCreated {
+		t.Fatalf("create crashy: status %d", code)
+	}
+	paid := c1.drive("crashy", testTasks, killAfter)
+	hs1.Close()
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := NewServer(Config{DataDir: dir})
+	if err != nil {
+		t.Fatalf("restart: %v", err)
+	}
+	hs2 := httptest.NewServer(s2.Handler())
+	t.Cleanup(func() { hs2.Close(); s2.Close() })
+	c2 := &testClient{t: t, base: hs2.URL}
+
+	var status studyStatus
+	if code := c2.get("/studies/crashy", &status); code != http.StatusOK {
+		t.Fatalf("status: %d", code)
+	}
+	if status.Logged != killAfter {
+		t.Fatalf("restart sees %d logged records, want %d", status.Logged, killAfter)
+	}
+	paid += c2.drive("crashy", testTasks, -1)
+	if want := epsTot * len(testTasks); paid != want {
+		t.Fatalf("paid %d evaluations across the restart, want exactly %d (committed work must not be re-paid)", paid, want)
+	}
+
+	got := c2.history("crashy")
+	for ti := range want {
+		if len(got[ti].X) != len(want[ti].X) {
+			t.Fatalf("task %d: resumed history has %d evaluations, want %d", ti, len(got[ti].X), len(want[ti].X))
+		}
+		for i := range want[ti].X {
+			if math.Float64bits(got[ti].X[i][0]) != math.Float64bits(want[ti].X[i][0]) ||
+				math.Float64bits(got[ti].Y[i][0]) != math.Float64bits(want[ti].Y[i][0]) {
+				t.Errorf("task %d sample %d: resumed history diverged", ti, i)
+			}
+		}
+	}
+}
+
+// TestServeFailedReportRetries exercises the Fail path over HTTP: a failed
+// evaluation yields a substitute configuration under the same ID, and the
+// third consecutive failure is terminal.
+func TestServeFailedReportRetries(t *testing.T) {
+	_, c := newTestServer(t)
+	if code := c.post("/studies", testSpec("flaky", 4, 3), nil); code != http.StatusCreated {
+		t.Fatalf("create: status %d", code)
+	}
+	var sg suggestResponse
+	if code := c.post("/studies/flaky/suggest", nil, &sg); code != http.StatusOK {
+		t.Fatalf("suggest: status %d", code)
+	}
+	prev := sg.X[0]
+	for attempt := 1; attempt <= 3; attempt++ {
+		var rep reportResponse
+		code := c.post("/studies/flaky/report", reportRequest{ID: sg.ID, Failed: true, Error: "node died"}, &rep)
+		if code != http.StatusOK {
+			t.Fatalf("attempt %d: status %d", attempt, code)
+		}
+		if attempt < 3 {
+			if rep.Retry == nil || rep.Retry.ID != sg.ID {
+				t.Fatalf("attempt %d: want retry under id %d, got %+v", attempt, sg.ID, rep)
+			}
+			if rep.Retry.X[0] == prev {
+				t.Fatalf("attempt %d: retry did not substitute a fresh configuration", attempt)
+			}
+			prev = rep.Retry.X[0]
+		} else if !rep.Terminal {
+			t.Fatalf("attempt 3: want terminal failure, got %+v", rep)
+		}
+	}
+}
+
+// TestServeRejectsBadRequests covers the API's validation surface.
+func TestServeRejectsBadRequests(t *testing.T) {
+	_, c := newTestServer(t)
+
+	bad := testSpec("ok", 4, 1)
+	bad.Name = "../escape"
+	if code := c.post("/studies", bad, nil); code != http.StatusBadRequest {
+		t.Errorf("path-traversal name: status %d, want 400", code)
+	}
+	bad = testSpec("ok", 4, 1)
+	bad.Tuning[0].Kind = "complex"
+	if code := c.post("/studies", bad, nil); code != http.StatusBadRequest {
+		t.Errorf("unknown kind: status %d, want 400", code)
+	}
+	bad = testSpec("ok", 4, 1)
+	bad.Outputs = nil
+	if code := c.post("/studies", bad, nil); code != http.StatusBadRequest {
+		t.Errorf("no outputs: status %d, want 400", code)
+	}
+	bad = testSpec("ok", 4, 1)
+	bad.Tasks = [][]float64{{0, 1}}
+	if code := c.post("/studies", bad, nil); code != http.StatusBadRequest {
+		t.Errorf("task arity mismatch: status %d, want 400", code)
+	}
+
+	if code := c.post("/studies", testSpec("ok", 4, 1), nil); code != http.StatusCreated {
+		t.Fatalf("create: status %d", code)
+	}
+	if code := c.post("/studies", testSpec("ok", 4, 1), nil); code != http.StatusConflict {
+		t.Errorf("duplicate study: status %d, want 409", code)
+	}
+	if code := c.post("/studies/nope/suggest", nil, nil); code != http.StatusNotFound {
+		t.Errorf("unknown study: status %d, want 404", code)
+	}
+	if code := c.post("/studies/ok/report", reportRequest{ID: 999, Y: []float64{1}}, nil); code != http.StatusNotFound {
+		t.Errorf("unknown suggestion id: status %d, want 404", code)
+	}
+	var sg suggestResponse
+	if code := c.post("/studies/ok/suggest", nil, &sg); code != http.StatusOK {
+		t.Fatalf("suggest: status %d", code)
+	}
+	if code := c.post("/studies/ok/report", reportRequest{ID: sg.ID, Y: []float64{1, 2}}, nil); code != http.StatusBadRequest {
+		t.Errorf("wrong output arity: status %d, want 400", code)
+	}
+	// JSON has no literal for Inf/NaN, so a non-finite report dies at body
+	// parsing; either way the engine never sees it.
+	resp, err := http.Post(c.base+"/studies/ok/report", "application/json",
+		bytes.NewReader([]byte(`{"id":`+fmt.Sprint(sg.ID)+`,"y":[1e999]}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("non-finite output: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestServeSuggestPerTask checks task-scoped suggestions and the
+// none-pending signal.
+func TestServeSuggestPerTask(t *testing.T) {
+	_, c := newTestServer(t)
+	if code := c.post("/studies", testSpec("scoped", 4, 5), nil); code != http.StatusCreated {
+		t.Fatalf("create: status %d", code)
+	}
+	var sg suggestResponse
+	if code := c.post("/studies/scoped/suggest", suggestRequest{Task: 1}, &sg); code != http.StatusOK {
+		t.Fatalf("suggest task 1: status %d", code)
+	}
+	if sg.Task != 1 {
+		t.Fatalf("asked for task 1, got task %d", sg.Task)
+	}
+	// Drain task 1's remaining fresh init job; the next ask then re-issues
+	// the first outstanding suggestion (crashed-client re-ask), same ID.
+	var second suggestResponse
+	if code := c.post("/studies/scoped/suggest", suggestRequest{Task: 1}, &second); code != http.StatusOK {
+		t.Fatalf("second suggest: status %d", code)
+	}
+	var again suggestResponse
+	if code := c.post("/studies/scoped/suggest", suggestRequest{Task: 1}, &again); code != http.StatusOK {
+		t.Fatalf("re-suggest: status %d", code)
+	}
+	if again.ID != sg.ID {
+		t.Fatalf("re-ask for task 1 returned id %d, want outstanding id %d", again.ID, sg.ID)
+	}
+	if code := c.post("/studies/scoped/suggest", suggestRequest{Task: 99}, nil); code != http.StatusBadRequest {
+		t.Errorf("out-of-range task: status %d, want 400", code)
+	}
+}
+
+// TestServeMultiObjectivePareto drives a two-objective study over HTTP and
+// checks the pareto endpoint returns a non-dominated set.
+func TestServeMultiObjectivePareto(t *testing.T) {
+	spec := StudySpec{
+		Name:       "mo",
+		TaskParams: []ParamSpec{{Name: "t", Kind: "real", Lo: 0, Hi: 10}},
+		Tuning:     []ParamSpec{{Name: "x", Kind: "real", Lo: 0, Hi: 1}},
+		Outputs:    []string{"y1", "y2"},
+		Tasks:      [][]float64{{1}},
+		Options:    OptionsSpec{EpsTot: 6, Seed: 11, MOGenerations: 5, MOPopSize: 12},
+	}
+	_, c := newTestServer(t)
+	if code := c.post("/studies", spec, nil); code != http.StatusCreated {
+		t.Fatalf("create: status %d", code)
+	}
+	for {
+		var sg suggestResponse
+		if code := c.post("/studies/mo/suggest", nil, &sg); code != http.StatusOK {
+			t.Fatalf("suggest: status %d", code)
+		}
+		if sg.Done {
+			break
+		}
+		x := sg.X[0]
+		y := []float64{x * x, (x - 1) * (x - 1)}
+		if code := c.post("/studies/mo/report", reportRequest{ID: sg.ID, Y: y}, nil); code != http.StatusOK {
+			t.Fatalf("report: status %d", code)
+		}
+	}
+	var front struct {
+		Tasks []taskHistory `json:"tasks"`
+	}
+	if code := c.get("/studies/mo/pareto", &front); code != http.StatusOK {
+		t.Fatalf("pareto: status %d", code)
+	}
+	if len(front.Tasks) != 1 || len(front.Tasks[0].Y) == 0 {
+		t.Fatalf("empty pareto front: %+v", front)
+	}
+	for _, a := range front.Tasks[0].Y {
+		for _, b := range front.Tasks[0].Y {
+			if dominates(a, b) {
+				t.Fatalf("pareto front contains dominated point: %v dominates %v", a, b)
+			}
+		}
+	}
+}
+
+func dominates(a, b []float64) bool {
+	strict := false
+	for i := range a {
+		if a[i] > b[i] {
+			return false
+		}
+		if a[i] < b[i] {
+			strict = true
+		}
+	}
+	return strict
+}
+
+// TestServeSpecRoundTrip checks the spec survives its JSON persistence
+// bitwise (tasks are float64s; the spec on disk rebuilds the engine).
+func TestServeSpecRoundTrip(t *testing.T) {
+	spec := testSpec("rt", 6, 99)
+	spec.Tasks = [][]float64{{math.Pi}, {math.Nextafter(1, 2)}}
+	data, err := json.Marshal(&spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back StudySpec
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	for i := range spec.Tasks {
+		if math.Float64bits(back.Tasks[i][0]) != math.Float64bits(spec.Tasks[i][0]) {
+			t.Fatalf("task %d did not round-trip bitwise: %v vs %v", i, back.Tasks[i][0], spec.Tasks[i][0])
+		}
+	}
+	if _, _, _, err := back.build(); err != nil {
+		t.Fatalf("round-tripped spec no longer builds: %v", err)
+	}
+}

@@ -1,0 +1,211 @@
+// Package serve implements gptuned, the ask/tell tuning service: studies
+// are created over HTTP, clients ask for configurations to evaluate
+// (suggest) and report measurements back (report), and the server runs the
+// GPTune MLA machinery through the step-wise core.Engine. Every observation
+// is appended to the study's write-ahead log the moment it commits, so a
+// killed server resumes all studies through the crash-safe replay path — a
+// restarted study re-derives its decisions deterministically and pays at
+// most the evaluations that were in flight when the process died.
+package serve
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/space"
+)
+
+// ParamSpec is the wire form of one space.Param.
+type ParamSpec struct {
+	Name       string   `json:"name"`
+	Kind       string   `json:"kind"` // "real", "integer" or "categorical"
+	Lo         float64  `json:"lo,omitempty"`
+	Hi         float64  `json:"hi,omitempty"`
+	Log        bool     `json:"log,omitempty"`
+	Categories []string `json:"categories,omitempty"`
+}
+
+func (ps ParamSpec) param() (space.Param, error) {
+	switch ps.Kind {
+	case "real":
+		p := space.NewReal(ps.Name, ps.Lo, ps.Hi)
+		p.LogScale = ps.Log
+		return p, p.Validate()
+	case "integer":
+		p := space.NewInteger(ps.Name, int(ps.Lo), int(ps.Hi))
+		p.LogScale = ps.Log
+		return p, p.Validate()
+	case "categorical":
+		p := space.NewCategorical(ps.Name, ps.Categories...)
+		return p, p.Validate()
+	}
+	return space.Param{}, fmt.Errorf("serve: parameter %q has unknown kind %q (want real, integer or categorical)", ps.Name, ps.Kind)
+}
+
+// OptionsSpec is the wire form of the core.Options a study runs with. Zero
+// values take the engine's defaults. Fields that cannot round-trip through
+// JSON (callbacks, checkpoint hooks, worker gates) are owned by the server.
+type OptionsSpec struct {
+	EpsTot        int     `json:"eps_tot"`
+	InitFraction  float64 `json:"init_fraction,omitempty"`
+	Workers       int     `json:"workers,omitempty"`
+	LogY          bool    `json:"log_y,omitempty"`
+	Q             int     `json:"q,omitempty"`
+	NumStarts     int     `json:"num_starts,omitempty"`
+	ModelMaxIter  int     `json:"model_max_iter,omitempty"`
+	Acquisition   string  `json:"acquisition,omitempty"`
+	LCBKappa      float64 `json:"lcb_kappa,omitempty"`
+	BatchEvals    int     `json:"batch_evals,omitempty"`
+	MOBatch       int     `json:"mo_batch,omitempty"`
+	MOGenerations int     `json:"mo_generations,omitempty"`
+	MOPopSize     int     `json:"mo_pop_size,omitempty"`
+	Seed          int64   `json:"seed"`
+}
+
+// StudySpec is everything needed to (re)build a study's engine: the spaces,
+// the task vectors, and the tuning options. It is persisted durably next to
+// the study's WAL at creation time, so a restarted server always rebuilds
+// the exact engine whose log it replays — the spec on disk, not the client,
+// is the source of truth after a crash.
+//
+// Constraints (space.Constraint predicates) are Go functions and have no
+// wire form; studies created over HTTP are unconstrained.
+type StudySpec struct {
+	Name       string      `json:"name"`
+	TaskParams []ParamSpec `json:"task_params,omitempty"` // optional IS description
+	Tuning     []ParamSpec `json:"tuning"`
+	Outputs    []string    `json:"outputs"`
+	Tasks      [][]float64 `json:"tasks"`
+	Options    OptionsSpec `json:"options"`
+}
+
+// validName reports whether a study name is safe to use as a file stem.
+func validName(name string) bool {
+	if name == "" || len(name) > 128 || strings.HasPrefix(name, ".") {
+		return false
+	}
+	for _, r := range name {
+		ok := r == '-' || r == '_' || r == '.' ||
+			(r >= '0' && r <= '9') || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// build turns the spec into the engine's inputs, validating everything a
+// client could get wrong.
+func (s *StudySpec) build() (*core.Problem, [][]float64, core.Options, error) {
+	var zero core.Options
+	if !validName(s.Name) {
+		return nil, nil, zero, fmt.Errorf("serve: study name %q invalid (letters, digits, '.', '_', '-'; no leading dot)", s.Name)
+	}
+	if len(s.Tuning) == 0 {
+		return nil, nil, zero, fmt.Errorf("serve: study %s has no tuning parameters", s.Name)
+	}
+	if len(s.Outputs) == 0 {
+		return nil, nil, zero, fmt.Errorf("serve: study %s has no outputs", s.Name)
+	}
+	if len(s.Tasks) == 0 {
+		return nil, nil, zero, fmt.Errorf("serve: study %s has no tasks", s.Name)
+	}
+	tuningParams := make([]space.Param, len(s.Tuning))
+	for i, ps := range s.Tuning {
+		p, err := ps.param()
+		if err != nil {
+			return nil, nil, zero, fmt.Errorf("serve: study %s tuning: %w", s.Name, err)
+		}
+		tuningParams[i] = p
+	}
+	tuning, err := space.New(tuningParams...)
+	if err != nil {
+		return nil, nil, zero, fmt.Errorf("serve: study %s tuning: %w", s.Name, err)
+	}
+	taskSpace, err := s.taskSpace()
+	if err != nil {
+		return nil, nil, zero, err
+	}
+	dim := taskSpace.Dim()
+	for i, t := range s.Tasks {
+		if len(t) != dim {
+			return nil, nil, zero, fmt.Errorf("serve: study %s task %d has %d values, task space has %d parameters", s.Name, i, len(t), dim)
+		}
+		for _, v := range t {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, nil, zero, fmt.Errorf("serve: study %s task %d has a non-finite value", s.Name, i)
+			}
+		}
+	}
+	prob := &core.Problem{
+		Name:    s.Name,
+		Tasks:   taskSpace,
+		Tuning:  tuning,
+		Outputs: space.NewOutputSpace(s.Outputs...),
+		// No Objective: evaluations arrive over HTTP.
+	}
+	o := s.Options
+	opts := core.Options{
+		EpsTot:        o.EpsTot,
+		InitFraction:  o.InitFraction,
+		Workers:       o.Workers,
+		LogY:          o.LogY,
+		Q:             o.Q,
+		NumStarts:     o.NumStarts,
+		ModelMaxIter:  o.ModelMaxIter,
+		Acquisition:   o.Acquisition,
+		LCBKappa:      o.LCBKappa,
+		BatchEvals:    o.BatchEvals,
+		MOBatch:       o.MOBatch,
+		MOGenerations: o.MOGenerations,
+		MOPopSize:     o.MOPopSize,
+		Seed:          o.Seed,
+	}
+	return prob, s.Tasks, opts, nil
+}
+
+// taskSpace builds the IS from the spec, synthesizing unconstrained real
+// parameters spanning the supplied task vectors when the client omitted
+// task_params (the engine never samples the task space; it only validates).
+func (s *StudySpec) taskSpace() (*space.Space, error) {
+	if len(s.TaskParams) > 0 {
+		params := make([]space.Param, len(s.TaskParams))
+		for i, ps := range s.TaskParams {
+			p, err := ps.param()
+			if err != nil {
+				return nil, fmt.Errorf("serve: study %s task_params: %w", s.Name, err)
+			}
+			params[i] = p
+		}
+		sp, err := space.New(params...)
+		if err != nil {
+			return nil, fmt.Errorf("serve: study %s task_params: %w", s.Name, err)
+		}
+		return sp, nil
+	}
+	dim := len(s.Tasks[0])
+	if dim == 0 {
+		return nil, fmt.Errorf("serve: study %s has empty task vectors", s.Name)
+	}
+	params := make([]space.Param, dim)
+	for d := 0; d < dim; d++ {
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, t := range s.Tasks {
+			if d < len(t) {
+				lo = math.Min(lo, t[d])
+				hi = math.Max(hi, t[d])
+			}
+		}
+		if !(lo <= hi) {
+			lo, hi = 0, 0
+		}
+		params[d] = space.NewReal(fmt.Sprintf("t%d", d), lo, hi)
+	}
+	sp, err := space.New(params...)
+	if err != nil {
+		return nil, fmt.Errorf("serve: study %s task space: %w", s.Name, err)
+	}
+	return sp, nil
+}

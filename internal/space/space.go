@@ -100,14 +100,20 @@ func (p Param) Validate() error {
 }
 
 // normalize maps a native value into [0,1].
+//
+// Categorical parameters use the cell-center convention: category j of k
+// maps to the center (j+0.5)/k of the j-th of k equal cells of [0,1] — the
+// same partition denormalize samples from. Kernel distances and sampled
+// cells therefore agree: adjacent categories are 1/k apart, and a uniform
+// u lands in each category with equal probability. (An earlier convention
+// mapped j to j/(k−1), which placed the categories on a grid denormalize
+// never inverted consistently, distorting every GP distance involving a
+// categorical axis.)
 func (p Param) normalize(v float64) float64 {
 	switch p.Kind {
 	case Categorical:
 		k := len(p.Categories)
-		if k == 1 {
-			return 0
-		}
-		return clamp01(v / float64(k-1))
+		return clamp01((v + 0.5) / float64(k))
 	default:
 		if p.Hi == p.Lo {
 			return 0
@@ -119,8 +125,16 @@ func (p Param) normalize(v float64) float64 {
 	}
 }
 
-// denormalize maps u ∈ [0,1] back to a native value (rounded for Integer,
-// a category index for Categorical).
+// denormalize maps u ∈ [0,1] back to a native value (a whole value for
+// Integer, a category index for Categorical).
+//
+// Integer parameters partition [0,1] into Hi−Lo+1 equal cells and take the
+// cell index: Lo + ⌊u·(Hi−Lo+1)⌋, clamped. Under uniform u every integer —
+// endpoints included — receives mass 1/(Hi−Lo+1). (The earlier
+// Round(Lo + u·(Hi−Lo)) gave Lo and Hi half the mass of interior values,
+// skewing LHS initial designs away from the bounds.) Log-scale integers
+// keep rounding on the exponential curve: their cells are intentionally
+// non-uniform in u, so there is no equal-mass partition to preserve.
 func (p Param) denormalize(u float64) float64 {
 	u = clamp01(u)
 	switch p.Kind {
@@ -132,13 +146,10 @@ func (p Param) denormalize(u float64) float64 {
 		}
 		return float64(idx)
 	case Integer:
-		var v float64
 		if p.LogScale {
-			v = p.Lo * math.Pow(p.Hi/p.Lo, u)
-		} else {
-			v = p.Lo + u*(p.Hi-p.Lo)
+			return clampRange(math.Round(p.Lo*math.Pow(p.Hi/p.Lo, u)), p.Lo, p.Hi)
 		}
-		return clampRange(math.Round(v), p.Lo, p.Hi)
+		return clampRange(p.Lo+math.Floor(u*(p.Hi-p.Lo+1)), p.Lo, p.Hi)
 	default:
 		if p.LogScale {
 			return clampRange(p.Lo*math.Pow(p.Hi/p.Lo, u), p.Lo, p.Hi)

@@ -81,8 +81,74 @@ func TestNormalizeEdges(t *testing.T) {
 		t.Fatalf("degenerate range normalize != 0")
 	}
 	c := NewCategorical("c", "only")
-	if c.normalize(0) != 0 || c.denormalize(0.7) != 0 {
-		t.Fatalf("single-category param mishandled")
+	if c.normalize(0) != 0.5 || c.denormalize(0.7) != 0 {
+		t.Fatalf("single-category param mishandled: normalize=%v denormalize=%v",
+			c.normalize(0), c.denormalize(0.7))
+	}
+}
+
+// Regression for the categorical encoding convention mismatch: normalize
+// used to map index j to j/(k−1) while denormalize partitioned [0,1] into k
+// equal cells, so the point the kernel saw for category j was not in the
+// cell that samples back to j. Both directions now use the cell-center
+// convention: normalize(j) = (j+0.5)/k, the center of the j-th cell.
+func TestCategoricalCellConsistency(t *testing.T) {
+	for k := 1; k <= 7; k++ {
+		cats := make([]string, k)
+		for i := range cats {
+			cats[i] = strings.Repeat("x", i+1)
+		}
+		p := NewCategorical("c", cats...)
+		for j := 0; j < k; j++ {
+			u := p.normalize(float64(j))
+			// The normalized point must be the center of cell j …
+			want := (float64(j) + 0.5) / float64(k)
+			if math.Abs(u-want) > 1e-15 {
+				t.Fatalf("k=%d: normalize(%d) = %v, want cell center %v", k, j, u, want)
+			}
+			// … and must round-trip through the cell partition.
+			if got := p.denormalize(u); got != float64(j) {
+				t.Fatalf("k=%d: denormalize(normalize(%d)) = %v", k, j, got)
+			}
+			// Consistency: the whole cell [j/k, (j+1)/k) decodes to j, so the
+			// kernel point sits in the region that samples to its category.
+			lo, hi := float64(j)/float64(k), (float64(j)+1)/float64(k)
+			if p.denormalize(lo) != float64(j) || p.denormalize(hi-1e-12) != float64(j) {
+				t.Fatalf("k=%d: cell [%v,%v) does not decode to %d", k, lo, hi, j)
+			}
+		}
+	}
+}
+
+// Regression for the integer endpoint bias: Round(Lo + u·(Hi−Lo)) gave Lo
+// and Hi half the mass of interior values under uniform u. The floor-cell
+// mapping Lo + ⌊u·(Hi−Lo+1)⌋ gives every value — endpoints included — the
+// same mass. Checked exactly on a deterministic grid of u values.
+func TestIntegerCellUniformity(t *testing.T) {
+	p := NewInteger("i", -3, 7) // 11 values
+	cells := 11
+	perCell := 1000
+	m := cells * perCell
+	counts := make(map[int]int)
+	for i := 0; i < m; i++ {
+		u := (float64(i) + 0.5) / float64(m)
+		counts[int(p.denormalize(u))]++
+	}
+	for v := -3; v <= 7; v++ {
+		if c := counts[v]; c < perCell-2 || c > perCell+2 {
+			t.Fatalf("value %d drew %d of %d samples, want ≈ %d per value (counts %v)",
+				v, c, m, perCell, counts)
+		}
+	}
+	// Endpoints carry exactly the same mass as interior values.
+	if counts[-3] != counts[2] || counts[7] != counts[2] {
+		t.Fatalf("endpoint bias: Lo=%d mid=%d Hi=%d", counts[-3], counts[2], counts[7])
+	}
+	// Every integer in range must be reachable and round-trip.
+	for v := -3; v <= 7; v++ {
+		if got := p.denormalize(p.normalize(float64(v))); got != float64(v) {
+			t.Fatalf("round trip of %d gave %v", v, got)
+		}
 	}
 }
 
