@@ -9,6 +9,8 @@
 //	gptune -app superlu-mo -eps 40 -history runs.json
 //	gptune -app qr -eps 20 -checkpoint run.ckpt
 //	gptune -app qr -eps 20 -resume run.ckpt          # after a crash
+//	gptune -app qr -eps 20 -surrogate rf             # random-forest surrogate
+//	gptune -app qr -eps 20 -checkpoint b.ckpt -warm a.ckpt  # transfer hyperparameters
 package main
 
 import (
@@ -60,6 +62,8 @@ func main() {
 		history = flag.String("history", "", "history database path (loaded and updated)")
 		ckpt    = flag.String("checkpoint", "", "write-ahead log path: every evaluation is persisted as it completes (gptune tuner only)")
 		resume  = flag.String("resume", "", "checkpoint path of a killed run to resume (same app, seed and flags required)")
+		surr    = flag.String("surrogate", "", "surrogate backend: "+strings.Join(gptune.SurrogateKinds(), ", ")+" (default lcm; gptune tuner only)")
+		warm    = flag.String("warm", "", "checkpoint path of a previous run whose fitted-model snapshots warm-start this run's modeling phases")
 	)
 	flag.Parse()
 
@@ -83,10 +87,23 @@ func main() {
 		}
 		opts := gptune.Options{
 			EpsTot: *eps, Seed: *seed, Workers: *workers, LogY: true,
+			Surrogate: *surr,
 		}
 		if cp != nil {
 			defer cp.Close()
 			opts.Checkpoint = cp
+			// Snapshot every modeling phase's fitted surrogate into the same
+			// log, so a later run can -warm from it.
+			opts.Transfer = cp
+		}
+		if *warm != "" {
+			snaps, err := gptune.LoadModelSnapshots(*warm)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("warm start: %d model snapshots from %s\n", len(snaps), *warm)
+			opts.WarmStart = snaps
 		}
 		// Full multitask MLA across all tasks.
 		res, err := gptune.Tune(p, tasks, opts)
@@ -112,8 +129,8 @@ func main() {
 		return
 	}
 
-	if *ckpt != "" || *resume != "" {
-		fmt.Fprintln(os.Stderr, "-checkpoint/-resume require the gptune tuner")
+	if *ckpt != "" || *resume != "" || *surr != "" || *warm != "" {
+		fmt.Fprintln(os.Stderr, "-checkpoint/-resume/-surrogate/-warm require the gptune tuner")
 		os.Exit(1)
 	}
 	tn, err := gptune.NewTuner(*tuner)

@@ -4,6 +4,7 @@
 // Usage:
 //
 //	histdb -db runs.json list
+//	histdb -db runs.json stats     # eval/model counts, per-task breakdown, WAL vs snapshot
 //	histdb -db runs.json best pdgeqrf
 //	histdb -db runs.json merge other.json
 //	histdb -db run.ckpt verify     # inspect snapshot + write-ahead log
@@ -14,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 
 	"repro/internal/histdb"
 )
@@ -105,6 +107,8 @@ func main() {
 					task, r.Outputs, r.Config, r.Stamp.Format("2006-01-02 15:04"))
 			}
 		}
+	case "stats":
+		printStats(db, *dbPath, *problem)
 	case "merge":
 		if len(args) < 2 {
 			fmt.Fprintln(os.Stderr, "merge requires a second database path")
@@ -124,5 +128,50 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "unknown subcommand %q\n", args[0])
 		os.Exit(1)
+	}
+}
+
+// printStats summarizes a database: record counts by kind, the snapshot/WAL
+// split, and per problem the per-task evaluation counts with the incumbent
+// best output.
+func printStats(db *histdb.DB, path, problemFilter string) {
+	evals, models := 0, 0
+	probSet := map[string]bool{}
+	for _, r := range db.Query(problemFilter, nil) {
+		if r.IsEval() {
+			evals++
+		} else {
+			models++
+		}
+		probSet[r.Problem] = true
+	}
+	fmt.Printf("%s: %d records (%d evaluations, %d model snapshots)\n", path, evals+models, evals, models)
+	if v, err := histdb.Verify(path); err == nil {
+		fmt.Printf("  storage: %d in snapshot, %d in write-ahead log", v.SnapshotRecords, v.LogRecords)
+		if v.TornBytes > 0 {
+			fmt.Printf(", torn tail of %d bytes", v.TornBytes)
+		}
+		fmt.Println()
+	}
+	probs := make([]string, 0, len(probSet))
+	for p := range probSet {
+		probs = append(probs, p)
+	}
+	sort.Strings(probs)
+	for _, p := range probs {
+		fmt.Printf("  problem %s\n", p)
+		for _, task := range db.Tasks(p) {
+			n := 0
+			for _, r := range db.Query(p, task) {
+				if r.IsEval() {
+					n++
+				}
+			}
+			if r, ok := db.Best(p, task); ok {
+				fmt.Printf("    task %v: %d evaluations, best %v at config %v\n", task, n, r.Outputs, r.Config)
+			} else {
+				fmt.Printf("    task %v: %d evaluations, no outputs recorded\n", task, n)
+			}
+		}
 	}
 }

@@ -39,6 +39,7 @@ import (
 	"repro/internal/opt"
 	"repro/internal/sample"
 	"repro/internal/space"
+	"repro/internal/surrogate"
 	"repro/internal/tuners"
 	"repro/internal/tuners/hpbandster"
 	"repro/internal/tuners/opentuner"
@@ -198,6 +199,9 @@ func PriorFromHistory(db *History, problem string, tasks [][]float64) []PriorSam
 	var out []PriorSample
 	for _, task := range tasks {
 		for _, r := range db.Query(problem, task) {
+			if !r.IsEval() || len(r.Outputs) == 0 {
+				continue // model snapshots and output-less records are not evaluations
+			}
 			out = append(out, PriorSample{Task: r.Task, X: r.Config, Y: r.Outputs})
 		}
 	}
@@ -246,6 +250,41 @@ func Resume(path string, opts CheckpointOptions) (*Checkpointer, error) {
 // VerifyHistory inspects the snapshot and write-ahead log behind path and
 // reports what a recovery would keep (see histdb.Verify).
 func VerifyHistory(path string) (histdb.VerifyResult, error) { return histdb.Verify(path) }
+
+// ModelSnapshot is a serialized fitted surrogate; ModelStore receives one
+// per modeling phase (see Options.Transfer and Options.WarmStart).
+type (
+	ModelSnapshot = core.ModelSnapshot
+	ModelStore    = core.ModelStore
+)
+
+// SurrogateKinds lists the model backends selectable via Options.Surrogate:
+// "lcm" (the paper's multitask Linear Coregionalization Model, the default),
+// "gp-indep" (independent per-task GPs — no cross-task learning), and "rf"
+// (random forest, the SuRF-style Section 5 approach).
+func SurrogateKinds() []string { return surrogate.Kinds() }
+
+// LoadModelSnapshots reads the fitted-surrogate snapshots a checkpointed run
+// with Options.Transfer left in its history log, enabling transfer learning
+// across sessions: feed the result to a later run's Options.WarmStart and
+// its modeling phases seed hyperparameter optimization at the previous
+// session's optimum (the paper's "tuning improves over time" goal, applied
+// to the model rather than the data). Snapshots are returned in append
+// order; WarmStart uses the last matching (kind, objective) entry. A
+// missing file returns no snapshots and no error.
+func LoadModelSnapshots(path string) ([]ModelSnapshot, error) {
+	db, err := histdb.Load(path)
+	if err != nil {
+		return nil, err
+	}
+	var out []ModelSnapshot
+	for _, r := range db.Records() {
+		if r.Kind == histdb.KindModel {
+			out = append(out, ModelSnapshot{Kind: r.Surrogate, Objective: r.Objective, Data: r.Snapshot})
+		}
+	}
+	return out, nil
+}
 
 // Dataset is multitask training data for standalone surrogate modeling.
 type Dataset = gp.Dataset

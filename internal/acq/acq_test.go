@@ -201,3 +201,48 @@ func TestMultiObjectiveEI(t *testing.T) {
 		t.Fatalf("MO-EI with one hopeless objective = %v, want 0", v)
 	}
 }
+
+// TestExpectedImprovementDegenerateInputs: EI must stay finite and
+// non-negative under every degenerate posterior a numerically stressed GP
+// can emit — negative variance (cancellation at training points), NaN or
+// infinite moments — so a single bad prediction can't poison a PSO swarm
+// or an NSGA-II fitness comparison.
+func TestExpectedImprovementDegenerateInputs(t *testing.T) {
+	nan, inf := math.NaN(), math.Inf(1)
+	cases := []struct {
+		name             string
+		mu, variance, yB float64
+	}{
+		{"negative variance improving", 1, -0.5, 5},
+		{"negative variance dominated", 5, -0.5, 1},
+		{"tiny negative variance", 2, -1e-300, 2},
+		{"zero variance at incumbent", 2, 0, 2},
+		{"denormal variance", 2, 5e-324, 3},
+		{"nan mu", nan, 1, 0},
+		{"nan variance", 0, nan, 1},
+		{"nan incumbent", 0, 1, nan},
+		{"inf variance", 0, inf, 1},
+		{"-inf mu", math.Inf(-1), 1, 0},
+		{"inf mu", inf, 1, 0},
+		{"inf incumbent", 0, 1, inf},
+	}
+	for _, c := range cases {
+		ei := ExpectedImprovement(c.mu, c.variance, c.yB)
+		if math.IsNaN(ei) || math.IsInf(ei, 0) || ei < 0 {
+			t.Errorf("%s: EI(%v, %v, %v) = %v; want finite non-negative", c.name, c.mu, c.variance, c.yB, ei)
+		}
+	}
+	// The σ²→0⁺ limit: clamped variance reproduces the deterministic
+	// improvement exactly, on both sides of the incumbent.
+	if got := ExpectedImprovement(3, -1, 4); got != 1 {
+		t.Errorf("EI with clamped variance below incumbent = %v, want 1", got)
+	}
+	if got := ExpectedImprovement(5, -1, 4); got != 0 {
+		t.Errorf("EI with clamped variance at dominated mean = %v, want 0", got)
+	}
+	// MultiObjectiveEI inherits the guard: a NaN objective zeroes the
+	// product rather than propagating.
+	if got := MultiObjectiveEI([]float64{1, nan}, []float64{1, 1}, []float64{2, 2}); got != 0 || math.IsNaN(got) {
+		t.Errorf("MO-EI with NaN objective = %v, want 0", got)
+	}
+}

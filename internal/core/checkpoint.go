@@ -63,9 +63,11 @@ type Checkpointer struct {
 	problem string
 
 	mu     sync.Mutex
-	replay []histdb.Record
-	pos    int    // next replay record Eval must reproduce
-	used   []bool // replay records consumed by Lookup
+	replay []histdb.Record // evaluation records only (model records filtered out)
+	pos    int             // next replay record Eval must reproduce
+	used   []bool          // replay records consumed by Lookup
+	models int             // model-snapshot records currently in the WAL
+	snaps  []ModelSnapshot // model snapshots found in the log at open time
 }
 
 // NewCheckpoint creates a fresh WAL-backed checkpoint at path. It refuses a
@@ -101,20 +103,70 @@ func openCheckpoint(path string, opts CheckpointOptions) (*Checkpointer, error) 
 	if err != nil {
 		return nil, err
 	}
-	replay := wal.DB().Records()
-	for i, r := range replay {
+	// Model-snapshot records ride in the same log but are not evaluations:
+	// they never replay through Eval/Lookup (the engine re-fits and re-saves
+	// deterministically), so the replay list holds evaluation records only.
+	var replay []histdb.Record
+	var snaps []ModelSnapshot
+	models := 0
+	for i, r := range wal.DB().Records() {
 		if opts.Problem != "" && r.Problem != opts.Problem {
 			_ = wal.Close() // already failing; the mismatch error is the one to report
 			return nil, fmt.Errorf("core: checkpoint %s record %d belongs to problem %q, not %q",
 				path, i, r.Problem, opts.Problem)
 		}
+		if r.IsEval() {
+			replay = append(replay, r)
+			continue
+		}
+		models++
+		if r.Kind == histdb.KindModel {
+			snaps = append(snaps, ModelSnapshot{Kind: r.Surrogate, Objective: r.Objective, Data: r.Snapshot})
+		}
 	}
-	return &Checkpointer{wal: wal, problem: opts.Problem, replay: replay, used: make([]bool, len(replay))}, nil
+	return &Checkpointer{
+		wal: wal, problem: opts.Problem,
+		replay: replay, used: make([]bool, len(replay)),
+		models: models, snaps: snaps,
+	}, nil
 }
 
 // Logged returns how many evaluations the checkpoint currently holds
-// (replayed + newly appended).
-func (c *Checkpointer) Logged() int { return c.wal.Len() }
+// (replayed + newly appended). Model-snapshot records do not count.
+func (c *Checkpointer) Logged() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.wal.Len() - c.models
+}
+
+// SaveModel implements ModelStore: it appends a fitted-surrogate snapshot to
+// the write-ahead log as a histdb.KindModel record, so pass the Checkpointer
+// as Options.Transfer to make every modeling phase's result durable
+// alongside the evaluations it was fitted on. Later sessions load the
+// snapshots with ModelSnapshots (or the facade's LoadModelSnapshots) and
+// feed them to Options.WarmStart.
+func (c *Checkpointer) SaveModel(snap ModelSnapshot) error {
+	c.mu.Lock()
+	c.models++
+	c.mu.Unlock()
+	return c.wal.Append(histdb.Record{
+		Problem:   c.problem,
+		Kind:      histdb.KindModel,
+		Surrogate: snap.Kind,
+		Objective: snap.Objective,
+		Snapshot:  snap.Data,
+	})
+}
+
+// ModelSnapshots returns the fitted-model snapshots the log held when this
+// Checkpointer was opened (in append order — the last snapshot per
+// (kind, objective) is the most-trained one). Snapshots saved through this
+// Checkpointer after opening are not included; reopen the log to see them.
+func (c *Checkpointer) ModelSnapshots() []ModelSnapshot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]ModelSnapshot(nil), c.snaps...)
+}
 
 // Prior converts the checkpoint's records into Options.Prior samples — for
 // warm-starting a *different* run (other tasks, other budget) from this
@@ -122,7 +174,7 @@ func (c *Checkpointer) Logged() int { return c.wal.Len() }
 func (c *Checkpointer) Prior() []PriorSample {
 	var out []PriorSample
 	for _, r := range c.wal.DB().Records() {
-		if len(r.Outputs) == 0 {
+		if !r.IsEval() || len(r.Outputs) == 0 {
 			continue
 		}
 		out = append(out, PriorSample{Task: r.Task, X: r.Config, Y: r.Outputs})

@@ -8,9 +8,9 @@ import (
 	"sync"
 	"time"
 
-	"repro/internal/gp"
 	"repro/internal/mpx"
 	"repro/internal/sample"
+	"repro/internal/surrogate"
 )
 
 // ErrDone reports that a study's evaluation budget is exhausted: every task
@@ -85,6 +85,7 @@ type Engine struct {
 
 	initGenerated bool
 	priorsMerged  bool
+	phase         string // tuning phase of the current batch: "init", "search", "mo"
 	fatal         error
 }
 
@@ -101,19 +102,41 @@ func NewEngine(p *Problem, tasks [][]float64, options Options) (*Engine, error) 
 		return nil, errors.New("core: no tasks given")
 	}
 	options.defaults()
+	fitter, err := surrogate.New(options.Surrogate)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
 	st := &state{
-		p:     p,
-		opts:  options,
-		tasks: tasks,
-		X:     make([][][]float64, len(tasks)),
-		Y:     make([][][]float64, len(tasks)),
-		done:  make([]int, len(tasks)),
-		rng:   rand.New(rand.NewSource(options.Seed)),
+		p:      p,
+		opts:   options,
+		fitter: fitter,
+		tasks:  tasks,
+		X:      make([][][]float64, len(tasks)),
+		Y:      make([][][]float64, len(tasks)),
+		done:   make([]int, len(tasks)),
+		rng:    rand.New(rand.NewSource(options.Seed)),
 	}
 	if p.Model != nil {
 		st.coeffs = append([]float64(nil), p.Model.Coeffs...)
 	}
-	return &Engine{st: st, start: st.opts.now(), byID: make(map[int64]*engJob)}, nil
+	return &Engine{st: st, start: st.opts.now(), byID: make(map[int64]*engJob), phase: "init"}, nil
+}
+
+// Surrogate returns the resolved surrogate backend kind the engine models
+// with ("lcm", "gp-indep", "rf").
+func (e *Engine) Surrogate() string { return e.st.fitter.Kind() }
+
+// Phase returns the tuning phase of the engine's current batch: "init"
+// (Algorithm 1 line 1 sampling), "search" (single-objective model/search
+// generations), "mo" (Algorithm 2 generations), or "done" once the budget is
+// exhausted and every observation has committed.
+func (e *Engine) Phase() string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.initGenerated && e.nextCommit == len(e.batch) && e.st.minDone() >= e.st.opts.EpsTot {
+		return "done"
+	}
+	return e.phase
 }
 
 // Suggest returns the next configuration to evaluate for the given task
@@ -396,16 +419,20 @@ func (e *Engine) genSearchSingle() ([]*engJob, error) {
 
 	t0 := st.opts.now()
 	data, tv := st.buildDataset(0, fs)
-	model, err := gp.FitLCM(data, gp.FitOptions{
+	model, err := st.fitter.Fit(data, surrogate.FitOptions{
 		Q:         st.opts.Q,
 		NumStarts: st.opts.NumStarts,
 		Workers:   st.opts.Workers,
 		MaxIter:   st.opts.ModelMaxIter,
 		Seed:      st.opts.Seed + int64(ms),
+		WarmStart: st.warmSnapshot(0),
 	})
 	st.stats.Modeling += st.opts.since(t0)
 	if err != nil {
 		return nil, fmt.Errorf("core: modeling phase: %w", err)
+	}
+	if err := st.saveTransfer(model, 0); err != nil {
+		return nil, err
 	}
 
 	// Search phase: per task, maximize the acquisition over the feasible
@@ -431,16 +458,17 @@ func (e *Engine) genSearchMulti() ([]*engJob, error) {
 	ms := st.minSamples()
 
 	t0 := st.opts.now()
-	models := make([]*gp.LCM, gamma)
+	models := make([]surrogate.Model, gamma)
 	transforms := make([]func(float64) float64, gamma)
 	for s := 0; s < gamma; s++ {
 		data, tv := st.buildDataset(s, fs)
-		model, err := gp.FitLCM(data, gp.FitOptions{
+		model, err := st.fitter.Fit(data, surrogate.FitOptions{
 			Q:         st.opts.Q,
 			NumStarts: st.opts.NumStarts,
 			Workers:   st.opts.Workers,
 			MaxIter:   st.opts.ModelMaxIter,
 			Seed:      st.opts.Seed + int64(ms)*31 + int64(s),
+			WarmStart: st.warmSnapshot(s),
 		})
 		if err != nil {
 			st.stats.Modeling += st.opts.since(t0)
@@ -450,6 +478,11 @@ func (e *Engine) genSearchMulti() ([]*engJob, error) {
 		transforms[s] = tv
 	}
 	st.stats.Modeling += st.opts.since(t0)
+	for s, model := range models {
+		if err := st.saveTransfer(model, s); err != nil {
+			return nil, err
+		}
+	}
 
 	t1 := st.opts.now()
 	newX := make([][][]float64, len(st.tasks))
@@ -466,6 +499,7 @@ func (e *Engine) genSearchMulti() ([]*engJob, error) {
 // evaluation loop always used, with minSamples frozen pre-batch.
 func (e *Engine) jobsFromSearch(newX [][][]float64, phase string, ms int) []*engJob {
 	st := e.st
+	e.phase = phase
 	var jobs []*engJob
 	for i := range newX {
 		for b, x := range newX[i] {

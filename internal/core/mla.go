@@ -8,10 +8,10 @@ import (
 	"sync/atomic"
 
 	"repro/internal/acq"
-	"repro/internal/gp"
 	"repro/internal/mpx"
 	"repro/internal/opt"
 	"repro/internal/sample"
+	"repro/internal/surrogate"
 )
 
 // Run executes MLA (Algorithm 1 for γ=1, Algorithm 2 for γ>1) on the given
@@ -133,6 +133,7 @@ func (st *state) partialResult() *Result {
 type state struct {
 	p      *Problem
 	opts   Options
+	fitter surrogate.Fitter // modeling-phase backend, resolved from opts.Surrogate
 	tasks  [][]float64
 	X      [][][]float64 // [task][sample] native configs
 	Y      [][][]float64 // [task][sample] γ outputs
@@ -141,6 +142,37 @@ type state struct {
 	stats  PhaseStats
 	evals  atomic.Int64 // objective evaluations; mutated from worker goroutines
 	rng    *rand.Rand
+}
+
+// warmSnapshot returns the warm-start payload for the given objective: the
+// last Options.WarmStart snapshot matching the active backend kind and the
+// objective index, or nil (cold start).
+func (st *state) warmSnapshot(objective int) []byte {
+	var out []byte
+	for _, snap := range st.opts.WarmStart {
+		if snap.Objective == objective && snap.Kind == st.fitter.Kind() {
+			out = snap.Data
+		}
+	}
+	return out
+}
+
+// saveTransfer streams one fitted model to Options.Transfer (no-op without
+// one). Save failures are fatal to the run, like checkpoint failures: a
+// transfer sink that silently drops snapshots would poison later sessions.
+func (st *state) saveTransfer(model surrogate.Model, objective int) error {
+	store := st.opts.Transfer
+	if store == nil {
+		return nil
+	}
+	blob, err := model.MarshalBinary()
+	if err != nil {
+		return fmt.Errorf("core: serializing %s model: %w", model.Kind(), err)
+	}
+	if err := store.SaveModel(ModelSnapshot{Kind: model.Kind(), Objective: objective, Data: blob}); err != nil {
+		return fmt.Errorf("core: saving %s model snapshot: %w", model.Kind(), err)
+	}
+	return nil
 }
 
 // minDone returns the minimum number of budgeted evaluations across tasks.
@@ -336,14 +368,14 @@ func (st *state) yTransform(s int) (tv func(float64) float64) {
 	return math.Log
 }
 
-// buildDataset assembles the gp.Dataset for objective s.
-func (st *state) buildDataset(s int, fs *featureScale) (*gp.Dataset, func(float64) float64) {
+// buildDataset assembles the surrogate training set for objective s.
+func (st *state) buildDataset(s int, fs *featureScale) (*surrogate.Dataset, func(float64) float64) {
 	dim := st.p.Tuning.Dim()
 	if fs != nil {
 		dim += st.p.Model.Dim
 	}
 	tv := st.yTransform(s)
-	data := &gp.Dataset{
+	data := &surrogate.Dataset{
 		Dim: dim,
 		X:   make([][][]float64, len(st.tasks)),
 		Y:   make([][]float64, len(st.tasks)),
@@ -444,11 +476,11 @@ func (st *state) acquisition(mu, variance, yBest float64) float64 {
 // searchBatch returns BatchEvals configurations for task i. The first
 // maximizes the raw acquisition; subsequent ones maximize the acquisition
 // damped near already-chosen points so the batch spreads out.
-func (st *state) searchBatch(i int, model *gp.LCM, tv func(float64) float64, fs *featureScale) [][]float64 {
+func (st *state) searchBatch(i int, model surrogate.Model, tv func(float64) float64, fs *featureScale) [][]float64 {
 	k := st.opts.BatchEvals
-	ws := model.NewPredictWorkspace() // one per task goroutine; reused by every acquisition call
-	var chosen [][]float64            // native
-	var chosenNorm [][]float64        // normalized, for the penalty
+	ws := model.NewWorkspace() // one per task goroutine; reused by every acquisition call
+	var chosen [][]float64     // native
+	var chosenNorm [][]float64 // normalized, for the penalty
 	for b := 0; b < k; b++ {
 		x := st.searchOne(i, model, ws, tv, fs, chosenNorm, int64(b))
 		if x == nil {
@@ -464,7 +496,7 @@ func (st *state) searchBatch(i int, model *gp.LCM, tv func(float64) float64, fs 
 // swarm with the incumbent best configuration, damping near the avoid
 // points (batch spreading). It returns a native configuration, avoiding
 // exact duplicates of already-evaluated points.
-func (st *state) searchOne(i int, model *gp.LCM, ws *gp.PredictWorkspace, tv func(float64) float64, fs *featureScale, avoid [][]float64, salt int64) []float64 {
+func (st *state) searchOne(i int, model surrogate.Model, ws surrogate.Workspace, tv func(float64) float64, fs *featureScale, avoid [][]float64, salt int64) []float64 {
 	yBest := math.Inf(1)
 	bestIdx := 0
 	for j, y := range st.Y[i] {

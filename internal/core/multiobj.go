@@ -6,14 +6,14 @@ import (
 	"sort"
 
 	"repro/internal/acq"
-	"repro/internal/gp"
 	"repro/internal/opt"
 	"repro/internal/sample"
+	"repro/internal/surrogate"
 )
 
 // searchMO returns up to MOBatch native configurations for task i chosen
 // from the NSGA-II front of the negated per-objective EI vector.
-func (st *state) searchMO(i int, models []*gp.LCM, transforms []func(float64) float64, fs *featureScale) [][]float64 {
+func (st *state) searchMO(i int, models []surrogate.Model, transforms []func(float64) float64, fs *featureScale) [][]float64 {
 	gamma := len(models)
 	yBest := make([]float64, gamma)
 	for s := 0; s < gamma; s++ {
@@ -25,9 +25,9 @@ func (st *state) searchMO(i int, models []*gp.LCM, transforms []func(float64) fl
 		}
 	}
 	rng := rand.New(rand.NewSource(st.opts.Seed ^ hash2(13+i, st.minSamples())))
-	wss := make([]*gp.PredictWorkspace, gamma) // one set per task goroutine, reused across NSGA-II evals
+	wss := make([]surrogate.Workspace, gamma) // one set per task goroutine, reused across NSGA-II evals
 	for s := range wss {
-		wss[s] = models[s].NewPredictWorkspace()
+		wss[s] = models[s].NewWorkspace()
 	}
 	objective := func(u []float64) []float64 {
 		xNat := st.p.Tuning.Denormalize(u)

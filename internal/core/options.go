@@ -27,12 +27,36 @@ type Options struct {
 	// which suits runtime-like objectives spanning orders of magnitude.
 	LogY bool
 
+	// Surrogate selects the performance-model backend for the modeling
+	// phase: "lcm" (the paper's multitask LCM, the default), "gp-indep"
+	// (independent single-task GPs — the multitask ablation), or "rf"
+	// (per-task random forests, the SuRF-style baseline). Unknown names fail
+	// NewEngine/Run up front. See internal/surrogate.
+	Surrogate string
 	// Q is the number of LCM latent functions (default min(δ, 3)).
 	Q int
 	// NumStarts is n_start, the modeling phase's L-BFGS restarts (default 4).
 	NumStarts int
 	// ModelMaxIter caps L-BFGS iterations per restart (default 100).
 	ModelMaxIter int
+	// WarmStart supplies fitted-model snapshots from an earlier tuning
+	// session (loaded from its history database — see Checkpointer.
+	// ModelSnapshots and the gptune facade's LoadModelSnapshots). Each
+	// modeling-phase fit for objective s is seeded with the last snapshot
+	// whose Kind matches Options.Surrogate and whose Objective is s; GP
+	// backends start their first optimizer restart at the snapshot's
+	// hyperparameters. WarmStart is a static input, read-only for the whole
+	// run — the engine never feeds its own snapshots back into it, which
+	// keeps crash-resumed runs bitwise identical to uninterrupted ones.
+	// Incompatible snapshots silently degrade to cold starts.
+	WarmStart []ModelSnapshot
+	// Transfer, when non-nil, receives a snapshot of every fitted surrogate
+	// (one per modeling phase and objective) so later sessions can warm-start
+	// from it. A WAL-backed Checkpointer implements this by appending
+	// histdb.KindModel records to its log. Save errors abort the run. The
+	// engine never reads snapshots back from Transfer — saving is
+	// fire-and-forget, so a mid-run crash cannot change resumed decisions.
+	Transfer ModelStore
 
 	// Search configures the per-task PSO maximizing the acquisition.
 	Search opt.PSOParams
@@ -97,6 +121,23 @@ type PriorSample struct {
 	Task []float64
 	X    []float64
 	Y    []float64 // γ outputs
+}
+
+// ModelSnapshot is one fitted surrogate in serialized form: which backend
+// produced it, which objective it modeled, and the backend's MarshalBinary
+// payload. Snapshots flow out of a run through Options.Transfer and into a
+// later run through Options.WarmStart.
+type ModelSnapshot struct {
+	Kind      string // surrogate backend ("lcm", "gp-indep", "rf")
+	Objective int    // objective index the model was fitted for
+	Data      []byte // backend-specific serialized model
+}
+
+// ModelStore receives fitted-model snapshots from a run (Options.Transfer).
+// SaveModel is always called on the engine's coordinating goroutine, after
+// the modeling phase that produced the snapshot.
+type ModelStore interface {
+	SaveModel(snap ModelSnapshot) error
 }
 
 func (o *Options) defaults() {

@@ -111,6 +111,15 @@ type FitOptions struct {
 	MaxIter   int   // L-BFGS iterations per start; default 100
 	Seed      int64 // RNG seed for restarts
 	CholBlock int   // parallel Cholesky block size; default 64
+
+	// Init, when non-nil, replaces the random initialization of the first
+	// L-BFGS start with the given hyperparameter vector (the Hyperparameters
+	// layout of a previously fitted model) — the warm-start hook behind
+	// surrogate transfer sessions. A vector whose length does not match the
+	// fit's layout, or that contains non-finite values, is ignored, so a
+	// snapshot from an incompatible run degrades to a cold start instead of
+	// failing. The remaining NumStarts−1 starts stay random and unchanged.
+	Init []float64
 }
 
 func (o *FitOptions) defaults(numTasks int) {
@@ -184,6 +193,10 @@ func FitLCM(data *Dataset, options FitOptions) (*LCM, error) {
 	}
 
 	layout := hyperLayout{q: options.Q, dim: data.Dim, tasks: numTasks}
+	warm := options.Init
+	if len(warm) != layout.total() || !allFinite(warm) {
+		warm = nil
+	}
 
 	// The per-dimension pairwise squared-difference tensor is computed once
 	// and shared read-only by every L-BFGS evaluation of every restart and
@@ -231,6 +244,9 @@ func FitLCM(data *Dataset, options FitOptions) (*LCM, error) {
 		for s := lo; s < hi; s++ {
 			rng := rand.New(rand.NewSource(options.Seed + int64(s)*7919 + 1))
 			theta0 := randomInit(layout, rng)
+			if s == 0 && warm != nil {
+				theta0 = append([]float64(nil), warm...)
+			}
 			res := opt.LBFGS(eval, theta0, opt.LBFGSParams{MaxIter: options.MaxIter})
 			results[s] = fitResult{theta: res.X, ll: -res.F}
 		}
@@ -271,6 +287,15 @@ func FitLCM(data *Dataset, options FitOptions) (*LCM, error) {
 	model.yNorm = yn
 	model.prepPredict()
 	return model, nil
+}
+
+func allFinite(v []float64) bool {
+	for _, x := range v {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return false
+		}
+	}
+	return true
 }
 
 func meanStd(y []float64) (mean, std float64) {

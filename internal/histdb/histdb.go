@@ -32,7 +32,32 @@ type Record struct {
 	// objective failed and a retry substituted a fresh feasible point;
 	// checkpoint replay keys on it to skip already-paid evaluations.
 	Requested []float64 `json:"requested,omitempty"`
+
+	// Kind distinguishes record types. Empty (the overwhelmingly common
+	// case, and everything written before surrogate snapshots existed) is a
+	// function evaluation; KindModel is a fitted-surrogate snapshot, which
+	// carries Surrogate/Objective/Snapshot instead of Task/Config/Outputs.
+	// Consumers that iterate evaluations must skip records with a non-empty
+	// Kind.
+	Kind string `json:"kind,omitempty"`
+	// Surrogate is the backend that produced a model record's snapshot
+	// ("lcm", "gp-indep", "rf").
+	Surrogate string `json:"surrogate,omitempty"`
+	// Objective is the objective index a model record's surrogate modeled
+	// (always 0 for single-objective runs).
+	Objective int `json:"objective,omitempty"`
+	// Snapshot is the serialized fitted model (base64 in the JSON encoding).
+	Snapshot []byte `json:"snapshot,omitempty"`
 }
+
+// KindModel marks a record holding a fitted-surrogate snapshot rather than a
+// function evaluation. A tuning run checkpointing through the WAL appends
+// one after each modeling phase; a later session loads the last one per
+// objective as a hyperparameter warm start (transfer learning across runs).
+const KindModel = "model"
+
+// IsEval reports whether the record is a plain function evaluation.
+func (r *Record) IsEval() bool { return r.Kind == "" }
 
 // DB is an in-memory history database with JSON persistence.
 type DB struct {
@@ -196,7 +221,7 @@ func (db *DB) Tasks(problem string) [][]float64 {
 	defer db.mu.Unlock()
 	var out [][]float64
 	for _, r := range db.records {
-		if r.Problem != problem {
+		if r.Problem != problem || !r.IsEval() {
 			continue
 		}
 		dup := false

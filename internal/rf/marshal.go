@@ -1,0 +1,93 @@
+// Portable serialization of fitted forests. Unlike a GP, a forest's entire
+// predictive state is its trees, so a snapshot round-trips to a model that
+// predicts bitwise identically — no refitting or factorization needed.
+package rf
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+)
+
+// treeSnapshot is one tree in columnar wire form (one array per node field;
+// leaves have feature −1).
+type treeSnapshot struct {
+	Feature   []int     `json:"f"`
+	Threshold []float64 `json:"t"`
+	Left      []int32   `json:"l"`
+	Right     []int32   `json:"r"`
+	Value     []float64 `json:"v"`
+}
+
+// forestSnapshot is the wire form of a fitted forest.
+type forestSnapshot struct {
+	Dim   int            `json:"dim"`
+	Trees []treeSnapshot `json:"trees"`
+}
+
+// MarshalBinary encodes the fitted forest into a self-contained snapshot.
+func (f *Forest) MarshalBinary() ([]byte, error) {
+	snap := forestSnapshot{Dim: f.dim, Trees: make([]treeSnapshot, len(f.trees))}
+	for i := range f.trees {
+		nodes := f.trees[i].nodes
+		ts := treeSnapshot{
+			Feature:   make([]int, len(nodes)),
+			Threshold: make([]float64, len(nodes)),
+			Left:      make([]int32, len(nodes)),
+			Right:     make([]int32, len(nodes)),
+			Value:     make([]float64, len(nodes)),
+		}
+		for j, n := range nodes {
+			ts.Feature[j] = n.feature
+			ts.Threshold[j] = n.threshold
+			ts.Left[j] = n.left
+			ts.Right[j] = n.right
+			ts.Value[j] = n.value
+		}
+		snap.Trees[i] = ts
+	}
+	return json.Marshal(snap)
+}
+
+// UnmarshalBinary decodes a snapshot produced by MarshalBinary, validating
+// the tree structure so a corrupt snapshot fails here rather than as an
+// out-of-bounds walk at prediction time.
+func (f *Forest) UnmarshalBinary(data []byte) error {
+	var snap forestSnapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return fmt.Errorf("rf: decoding forest snapshot: %w", err)
+	}
+	if snap.Dim <= 0 {
+		return errors.New("rf: forest snapshot missing dimension")
+	}
+	trees := make([]tree, len(snap.Trees))
+	for i, ts := range snap.Trees {
+		n := len(ts.Feature)
+		if n == 0 || len(ts.Threshold) != n || len(ts.Left) != n || len(ts.Right) != n || len(ts.Value) != n {
+			return fmt.Errorf("rf: forest snapshot tree %d has mismatched node arrays", i)
+		}
+		nodes := make([]node, n)
+		for j := 0; j < n; j++ {
+			nd := node{
+				feature:   ts.Feature[j],
+				threshold: ts.Threshold[j],
+				left:      ts.Left[j],
+				right:     ts.Right[j],
+				value:     ts.Value[j],
+			}
+			if nd.feature >= snap.Dim {
+				return fmt.Errorf("rf: forest snapshot tree %d node %d splits on feature %d of %d", i, j, nd.feature, snap.Dim)
+			}
+			if nd.feature >= 0 && (nd.left <= int32(j) || nd.right <= int32(j) || int(nd.left) >= n || int(nd.right) >= n) {
+				// Children always sit after their parent in the arena; a
+				// backward edge would make prediction loop forever.
+				return fmt.Errorf("rf: forest snapshot tree %d node %d has invalid children", i, j)
+			}
+			nodes[j] = nd
+		}
+		trees[i] = tree{nodes: nodes}
+	}
+	f.dim = snap.Dim
+	f.trees = trees
+	return nil
+}

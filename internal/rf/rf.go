@@ -12,6 +12,8 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+
+	"repro/internal/mpx"
 )
 
 // Params configures forest growth.
@@ -21,6 +23,11 @@ type Params struct {
 	MinLeaf     int     // minimum samples per leaf (default 2)
 	FeatureFrac float64 // fraction of features tried per split (default 1/3, min 1)
 	Seed        int64
+	// Workers bounds the goroutine parallelism of tree growth (default 1).
+	// The fitted forest is bitwise independent of the worker count: every
+	// tree owns an RNG seeded by its tree index, never by which goroutine
+	// grew it, so scheduling cannot leak into the ensemble.
+	Workers int
 }
 
 func (p *Params) defaults() {
@@ -35,6 +42,9 @@ func (p *Params) defaults() {
 	}
 	if p.FeatureFrac <= 0 || p.FeatureFrac > 1 {
 		p.FeatureFrac = 1.0 / 3
+	}
+	if p.Workers <= 0 {
+		p.Workers = 1
 	}
 }
 
@@ -89,7 +99,9 @@ func Fit(X [][]float64, y []float64, params Params) (*Forest, error) {
 		mtry = 1
 	}
 	f := &Forest{dim: dim, trees: make([]tree, params.Trees)}
-	for b := 0; b < params.Trees; b++ {
+	// Trees grow in parallel but each draws from its own RNG seeded by the
+	// tree index, so the forest never depends on goroutine scheduling.
+	mpx.ParallelFor(params.Trees, params.Workers, func(b int) {
 		rng := rand.New(rand.NewSource(params.Seed + int64(b)*2654435761))
 		// Bootstrap resample.
 		idx := make([]int, len(X))
@@ -102,7 +114,7 @@ func Fit(X [][]float64, y []float64, params Params) (*Forest, error) {
 		}
 		g.grow(idx, 0)
 		f.trees[b] = tree{nodes: g.nodes}
-	}
+	})
 	return f, nil
 }
 

@@ -133,6 +133,11 @@ func (s *Server) openStudy(spec StudySpec) (*study, error) {
 		return nil, err
 	}
 	opts.Checkpoint = cp
+	// Every fitted surrogate snapshot rides the same WAL, so a study's log
+	// doubles as transfer-learning input for later sessions (the facade's
+	// LoadModelSnapshots + Options.WarmStart). The engine never reads these
+	// back itself — resume replay stays bitwise.
+	opts.Transfer = cp
 	opts.ModelGate = s.gate
 	opts.Clock = s.cfg.Clock
 	eng, err := core.NewEngine(prob, tasks, opts)
@@ -283,6 +288,8 @@ func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
 // studyStatus is the GET /studies/{study} response.
 type studyStatus struct {
 	Name         string `json:"name"`
+	Surrogate    string `json:"surrogate"` // model backend the engine resolved ("lcm", "gp-indep", "rf")
+	Phase        string `json:"phase"`     // engine phase: "init", "search", "mo" or "done"
 	Tasks        int    `json:"tasks"`
 	Observations int    `json:"observations"` // committed evaluations across tasks
 	Logged       int    `json:"logged"`       // records in the WAL
@@ -303,6 +310,8 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	}
 	status := studyStatus{
 		Name:         st.spec.Name,
+		Surrogate:    st.eng.Surrogate(),
+		Phase:        st.eng.Phase(),
 		Tasks:        len(res.Tasks),
 		Observations: obs,
 		Logged:       st.cp.Logged(),
@@ -444,7 +453,11 @@ func (s *Server) handleHistory(w http.ResponseWriter, r *http.Request) {
 	for i, t := range res.Tasks {
 		out[i] = taskHistory{Task: t.Task, X: t.X, Y: t.Y}
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"tasks": out})
+	writeJSON(w, http.StatusOK, map[string]any{
+		"surrogate": st.eng.Surrogate(),
+		"phase":     st.eng.Phase(),
+		"tasks":     out,
+	})
 }
 
 // bestEntry is one task's incumbent for objective 0.

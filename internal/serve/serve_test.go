@@ -448,6 +448,92 @@ func dominates(a, b []float64) bool {
 	return strict
 }
 
+// TestServeSurrogateRestartRoundTrip: the spec's "surrogate" field selects
+// the engine's model backend, survives the spec's durable persistence across
+// a server restart, and is reported (with the engine phase) by the status and
+// history endpoints. An unknown kind is rejected before anything is persisted.
+func TestServeSurrogateRestartRoundTrip(t *testing.T) {
+	spec := StudySpec{
+		Name:       "forest",
+		TaskParams: []ParamSpec{{Name: "t", Kind: "real", Lo: 0, Hi: 10}},
+		Tuning:     []ParamSpec{{Name: "x", Kind: "real", Lo: 0, Hi: 1}},
+		Outputs:    []string{"y"},
+		Tasks:      [][]float64{{1.5}},
+		Options:    OptionsSpec{EpsTot: 6, Seed: 13, Workers: 1, Surrogate: "rf"},
+	}
+	tasks := spec.Tasks
+
+	dir := t.TempDir()
+	s1, err := NewServer(Config{DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs1 := httptest.NewServer(s1.Handler())
+	c1 := &testClient{t: t, base: hs1.URL}
+
+	bad := spec
+	bad.Name = "bogus"
+	bad.Options.Surrogate = "kriging"
+	if code := c1.post("/studies", bad, nil); code != http.StatusBadRequest {
+		t.Fatalf("unknown surrogate: status %d, want 400", code)
+	}
+	if code := c1.post("/studies", spec, nil); code != http.StatusCreated {
+		t.Fatalf("create: status %d", code)
+	}
+
+	var status studyStatus
+	if code := c1.get("/studies/forest", &status); code != http.StatusOK {
+		t.Fatalf("status: %d", code)
+	}
+	if status.Surrogate != "rf" || status.Phase != "init" {
+		t.Fatalf("fresh study: surrogate=%q phase=%q, want rf/init", status.Surrogate, status.Phase)
+	}
+
+	// Kill the server mid-init and reopen the data directory: the persisted
+	// spec, not the client, must carry the surrogate choice through.
+	c1.drive("forest", tasks, 2)
+	hs1.Close()
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := NewServer(Config{DataDir: dir})
+	if err != nil {
+		t.Fatalf("restart: %v", err)
+	}
+	hs2 := httptest.NewServer(s2.Handler())
+	t.Cleanup(func() { hs2.Close(); s2.Close() })
+	c2 := &testClient{t: t, base: hs2.URL}
+
+	if code := c2.get("/studies/forest", &status); code != http.StatusOK {
+		t.Fatalf("status after restart: %d", code)
+	}
+	if status.Surrogate != "rf" || status.Phase != "init" {
+		t.Fatalf("resumed study: surrogate=%q phase=%q, want rf/init", status.Surrogate, status.Phase)
+	}
+	c2.drive("forest", tasks, -1)
+	if code := c2.get("/studies/forest", &status); code != http.StatusOK {
+		t.Fatalf("status after finish: %d", code)
+	}
+	if !status.Done || status.Phase != "done" || status.Surrogate != "rf" {
+		t.Fatalf("finished study: done=%v phase=%q surrogate=%q", status.Done, status.Phase, status.Surrogate)
+	}
+
+	var hist struct {
+		Surrogate string        `json:"surrogate"`
+		Phase     string        `json:"phase"`
+		Tasks     []taskHistory `json:"tasks"`
+	}
+	if code := c2.get("/studies/forest/history", &hist); code != http.StatusOK {
+		t.Fatalf("history: %d", code)
+	}
+	if hist.Surrogate != "rf" || hist.Phase != "done" {
+		t.Fatalf("history reports surrogate=%q phase=%q, want rf/done", hist.Surrogate, hist.Phase)
+	}
+	if got := len(hist.Tasks[0].X); got != 6 {
+		t.Fatalf("finished study has %d evaluations, want 6", got)
+	}
+}
+
 // TestServeSpecRoundTrip checks the spec survives its JSON persistence
 // bitwise (tasks are float64s; the spec on disk rebuilds the engine).
 func TestServeSpecRoundTrip(t *testing.T) {

@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/space"
+	"repro/internal/surrogate"
 )
 
 // ParamSpec is the wire form of one space.Param.
@@ -62,6 +63,10 @@ type OptionsSpec struct {
 	MOGenerations int     `json:"mo_generations,omitempty"`
 	MOPopSize     int     `json:"mo_pop_size,omitempty"`
 	Seed          int64   `json:"seed"`
+	// Surrogate selects the model backend ("lcm", "gp-indep" or "rf"; empty
+	// means "lcm"). Validated at study creation — an unknown kind is rejected
+	// before the spec is persisted.
+	Surrogate string `json:"surrogate,omitempty"`
 }
 
 // StudySpec is everything needed to (re)build a study's engine: the spaces,
@@ -111,6 +116,9 @@ func (s *StudySpec) build() (*core.Problem, [][]float64, core.Options, error) {
 	}
 	if len(s.Tasks) == 0 {
 		return nil, nil, zero, fmt.Errorf("serve: study %s has no tasks", s.Name)
+	}
+	if _, err := surrogate.New(s.Options.Surrogate); err != nil {
+		return nil, nil, zero, fmt.Errorf("serve: study %s: %w", s.Name, err)
 	}
 	tuningParams := make([]space.Param, len(s.Tuning))
 	for i, ps := range s.Tuning {
@@ -162,6 +170,7 @@ func (s *StudySpec) build() (*core.Problem, [][]float64, core.Options, error) {
 		MOGenerations: o.MOGenerations,
 		MOPopSize:     o.MOPopSize,
 		Seed:          o.Seed,
+		Surrogate:     o.Surrogate,
 	}
 	return prob, s.Tasks, opts, nil
 }

@@ -1,0 +1,144 @@
+package surrogate
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"repro/internal/gp"
+)
+
+// gpIndepFitter fits one single-task GP per task — the multitask ablation:
+// identical kernels and optimizer to the LCM backend, but no information
+// flows between tasks. On a single-task dataset it is bitwise identical to
+// the lcm backend (task 0's fit receives exactly opts.Seed, and FitLCM
+// clamps Q to δ=1 either way), which the cross-backend parity test pins.
+type gpIndepFitter struct{}
+
+func (gpIndepFitter) Kind() string { return KindGPIndep }
+
+// perTaskSeed spreads task fits across seed space. Task 0 keeps the base
+// seed unchanged — the single-task parity guarantee depends on it.
+func perTaskSeed(base int64, task int) int64 {
+	return base + int64(task)*1000003
+}
+
+func (gpIndepFitter) Fit(data *Dataset, opts FitOptions) (Model, error) {
+	if err := data.Validate(); err != nil {
+		return nil, err
+	}
+	warm := warmTaskSnapshots(opts.WarmStart, KindGPIndep)
+	models := make([]*gp.LCM, data.NumTasks())
+	for i := range models {
+		sub := &Dataset{Dim: data.Dim, X: data.X[i : i+1], Y: data.Y[i : i+1]}
+		fo := gp.FitOptions{
+			Q:         opts.Q,
+			NumStarts: opts.NumStarts,
+			Workers:   opts.Workers,
+			MaxIter:   opts.MaxIter,
+			Seed:      perTaskSeed(opts.Seed, i),
+		}
+		if i < len(warm) {
+			fo.Init = warmHyperparameters(warm[i])
+		}
+		m, err := gp.FitLCM(sub, fo)
+		if err != nil {
+			return nil, fmt.Errorf("surrogate: fitting task %d GP: %w", i, err)
+		}
+		models[i] = m
+	}
+	return &gpIndepModel{models: models}, nil
+}
+
+func (gpIndepFitter) UnmarshalBinary(data []byte) (Model, error) {
+	blobs, err := decodeMultiSnapshot(data, KindGPIndep)
+	if err != nil {
+		return nil, err
+	}
+	models := make([]*gp.LCM, len(blobs))
+	for i, blob := range blobs {
+		var m gp.LCM
+		if err := m.UnmarshalBinary(blob); err != nil {
+			return nil, fmt.Errorf("surrogate: task %d snapshot: %w", i, err)
+		}
+		models[i] = &m
+	}
+	return &gpIndepModel{models: models}, nil
+}
+
+// gpIndepModel holds δ independent single-task GPs; task i predictions route
+// to models[i] with its local task index 0.
+type gpIndepModel struct {
+	models []*gp.LCM
+}
+
+func (g *gpIndepModel) Kind() string  { return KindGPIndep }
+func (g *gpIndepModel) NumTasks() int { return len(g.models) }
+
+// gpIndepWorkspace carries one gp workspace per task so a searcher goroutine
+// can probe any task allocation-free.
+type gpIndepWorkspace struct {
+	wss []*gp.PredictWorkspace
+}
+
+func (g *gpIndepModel) NewWorkspace() Workspace {
+	wss := make([]*gp.PredictWorkspace, len(g.models))
+	for i, m := range g.models {
+		wss[i] = m.NewPredictWorkspace()
+	}
+	return &gpIndepWorkspace{wss: wss}
+}
+
+func (g *gpIndepModel) PredictInto(ws Workspace, task int, x []float64) (mean, variance float64) {
+	return g.models[task].PredictInto(ws.(*gpIndepWorkspace).wss[task], 0, x)
+}
+
+func (g *gpIndepModel) MarshalBinary() ([]byte, error) {
+	blobs := make([]json.RawMessage, len(g.models))
+	for i, m := range g.models {
+		blob, err := m.MarshalBinary()
+		if err != nil {
+			return nil, err
+		}
+		blobs[i] = blob
+	}
+	return encodeMultiSnapshot(KindGPIndep, blobs)
+}
+
+// multiSnapshot is the wire container for per-task model collections
+// (gp-indep and rf). The kind tag rejects cross-backend loads early.
+type multiSnapshot struct {
+	Kind   string            `json:"kind"`
+	Models []json.RawMessage `json:"models"`
+}
+
+func encodeMultiSnapshot(kind string, blobs []json.RawMessage) ([]byte, error) {
+	return json.Marshal(multiSnapshot{Kind: kind, Models: blobs})
+}
+
+func decodeMultiSnapshot(data []byte, kind string) ([]json.RawMessage, error) {
+	var snap multiSnapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return nil, fmt.Errorf("surrogate: decoding %s snapshot: %w", kind, err)
+	}
+	if snap.Kind != kind {
+		return nil, fmt.Errorf("surrogate: snapshot kind %q, want %q", snap.Kind, kind)
+	}
+	if len(snap.Models) == 0 {
+		return nil, errors.New("surrogate: snapshot has no per-task models")
+	}
+	return snap.Models, nil
+}
+
+// warmTaskSnapshots splits a warm-start container into per-task blobs,
+// returning nil on any mismatch (best-effort transfer, never an error).
+func warmTaskSnapshots(snapshot []byte, kind string) []json.RawMessage {
+	if len(snapshot) == 0 {
+		return nil
+	}
+	blobs, err := decodeMultiSnapshot(snapshot, kind)
+	if err != nil {
+		return nil
+	}
+	return blobs
+}

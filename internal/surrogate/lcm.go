@@ -1,0 +1,76 @@
+package surrogate
+
+import "repro/internal/gp"
+
+// lcmFitter is the default backend: the paper's multitask LCM, delegating to
+// internal/gp. The translation to gp.FitOptions is field-for-field so a fit
+// through this wrapper is bitwise identical to calling gp.FitLCM directly —
+// the refactor's compatibility contract with pre-surrogate histories.
+type lcmFitter struct{}
+
+func (lcmFitter) Kind() string { return KindLCM }
+
+func (lcmFitter) Fit(data *Dataset, opts FitOptions) (Model, error) {
+	fo := gp.FitOptions{
+		Q:         opts.Q,
+		NumStarts: opts.NumStarts,
+		Workers:   opts.Workers,
+		MaxIter:   opts.MaxIter,
+		Seed:      opts.Seed,
+		Init:      warmHyperparameters(opts.WarmStart),
+	}
+	m, err := gp.FitLCM(data, fo)
+	if err != nil {
+		return nil, err
+	}
+	return &lcmModel{m: m}, nil
+}
+
+func (lcmFitter) UnmarshalBinary(data []byte) (Model, error) {
+	var m gp.LCM
+	if err := m.UnmarshalBinary(data); err != nil {
+		return nil, err
+	}
+	return &lcmModel{m: &m}, nil
+}
+
+// warmHyperparameters decodes a warm-start snapshot into the hyperparameter
+// vector FitLCM.Init expects. Any decoding failure returns nil (cold start):
+// transfer snapshots come from earlier sessions that may have tuned a
+// different problem shape, and FitLCM itself still ignores vectors whose
+// layout doesn't match the current fit.
+func warmHyperparameters(snapshot []byte) []float64 {
+	if len(snapshot) == 0 {
+		return nil
+	}
+	var m gp.LCM
+	if err := m.UnmarshalBinary(snapshot); err != nil {
+		return nil
+	}
+	return m.Hyperparameters()
+}
+
+// lcmModel adapts *gp.LCM to the Model interface.
+type lcmModel struct {
+	m *gp.LCM
+}
+
+func (l *lcmModel) Kind() string            { return KindLCM }
+func (l *lcmModel) NumTasks() int           { return l.m.NumTasks }
+func (l *lcmModel) NewWorkspace() Workspace { return l.m.NewPredictWorkspace() }
+
+func (l *lcmModel) PredictInto(ws Workspace, task int, x []float64) (mean, variance float64) {
+	return l.m.PredictInto(ws.(*gp.PredictWorkspace), task, x)
+}
+
+func (l *lcmModel) MarshalBinary() ([]byte, error) { return l.m.MarshalBinary() }
+
+// LCM exposes the wrapped model for consumers that need LCM-specific state
+// (the facade's coefficient reporting, LOO diagnostics). It returns nil for
+// other backends' models.
+func LCM(m Model) *gp.LCM {
+	if l, ok := m.(*lcmModel); ok {
+		return l.m
+	}
+	return nil
+}

@@ -1,0 +1,113 @@
+// Package surrogate abstracts the performance model behind GPTune's MLA
+// loop. The engine's modeling phase needs four capabilities — fit a model to
+// the multitask history, predict a posterior mean/variance allocation-free
+// from concurrent searchers, serialize the fitted state for transfer
+// sessions, and rebuild a model from such a snapshot — and this package
+// narrows them into the Fitter/Model pair so internal/core never names a
+// concrete model type again.
+//
+// Three backends ship:
+//
+//   - "lcm" (default): the paper's Linear Coregionalization Model, sharing
+//     latent functions across tasks (Section 3.1). Wraps internal/gp
+//     unchanged, cache/parallel hot path included.
+//   - "gp-indep": one single-task GP per task, no cross-task sharing — the
+//     natural ablation baseline for measuring what multitask learning buys.
+//   - "rf": per-task random forests (the SuRF-style baseline of Section 5),
+//     strongest when parameters are categorical.
+//
+// Every backend obeys the repo's determinism contract: fitted models are
+// bitwise independent of FitOptions.Workers, and a model reloaded from its
+// snapshot predicts bitwise identically to the original.
+package surrogate
+
+import (
+	"fmt"
+
+	"repro/internal/gp"
+)
+
+// Dataset is the multitask training set every backend consumes. It is the
+// gp package's type by alias so the engine's buildDataset needs no copying,
+// but backends are free to reshape it internally.
+type Dataset = gp.Dataset
+
+// Workspace is per-goroutine prediction scratch. Callers obtain one from
+// Model.NewWorkspace per searcher goroutine and thread it through
+// PredictInto; its concrete type is backend-private.
+type Workspace any
+
+// Model is a fitted surrogate.
+type Model interface {
+	// Kind names the backend that fitted this model ("lcm", "gp-indep", "rf").
+	Kind() string
+	// NumTasks returns δ, the number of tasks the model was fitted on.
+	NumTasks() int
+	// NewWorkspace allocates prediction scratch for one goroutine. The
+	// returned workspace must not be shared across goroutines.
+	NewWorkspace() Workspace
+	// PredictInto returns the posterior mean and variance at x for the given
+	// task, using ws for scratch. It performs no heap allocation, so PSO and
+	// NSGA-II inner loops can call it millions of times.
+	PredictInto(ws Workspace, task int, x []float64) (mean, variance float64)
+	// MarshalBinary serializes the fitted state into a self-contained
+	// snapshot that the same backend's UnmarshalBinary restores.
+	MarshalBinary() ([]byte, error)
+}
+
+// FitOptions configures a surrogate fit. The zero value of every field means
+// "backend default". Fields without meaning for a backend are ignored (Q and
+// NumStarts do nothing for forests).
+type FitOptions struct {
+	Q         int   // latent functions (LCM only); default min(δ, 3)
+	NumStarts int   // optimizer restarts (GP backends); default 4
+	Workers   int   // fit parallelism; never affects the fitted model's bits
+	MaxIter   int   // optimizer iteration cap (GP backends)
+	Seed      int64 // RNG seed; same seed + same data → bitwise same model
+
+	// WarmStart, when non-empty, is a snapshot previously produced by this
+	// backend's MarshalBinary (typically from an earlier tuning session via
+	// the history database). GP backends seed their first optimizer start at
+	// the snapshot's hyperparameters; forests ignore it. A stale, corrupt,
+	// or shape-incompatible snapshot silently degrades to a cold start —
+	// transfer is best-effort and must never fail a fit.
+	WarmStart []byte
+}
+
+// Fitter fits and restores models of one backend kind.
+type Fitter interface {
+	// Kind names the backend ("lcm", "gp-indep", "rf").
+	Kind() string
+	// Fit trains a model on data. The fitted model is bitwise independent of
+	// opts.Workers.
+	Fit(data *Dataset, opts FitOptions) (Model, error)
+	// UnmarshalBinary rebuilds a model from a MarshalBinary snapshot. The
+	// restored model predicts bitwise identically to the one that was saved
+	// (except hyperparameter-only LCM snapshots, which only warm-start).
+	UnmarshalBinary(data []byte) (Model, error)
+}
+
+// Backend kind names, as accepted by New and reported by Kind.
+const (
+	KindLCM     = "lcm"
+	KindGPIndep = "gp-indep"
+	KindRF      = "rf"
+)
+
+// Kinds lists the available backend names in preference order.
+func Kinds() []string { return []string{KindLCM, KindGPIndep, KindRF} }
+
+// New returns the Fitter for the named backend. The empty string selects the
+// default ("lcm"); unknown names are rejected with the valid set in the
+// error so flag/spec validation can surface it verbatim.
+func New(kind string) (Fitter, error) {
+	switch kind {
+	case "", KindLCM:
+		return lcmFitter{}, nil
+	case KindGPIndep:
+		return gpIndepFitter{}, nil
+	case KindRF:
+		return rfFitter{}, nil
+	}
+	return nil, fmt.Errorf("surrogate: unknown kind %q (have %v)", kind, Kinds())
+}

@@ -1,0 +1,266 @@
+package surrogate
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/gp"
+)
+
+// testDataset builds a small multitask dataset with correlated tasks.
+func testDataset(seed int64, tasks, perTask int) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	d := &Dataset{Dim: 2, X: make([][][]float64, tasks), Y: make([][]float64, tasks)}
+	for i := 0; i < tasks; i++ {
+		for j := 0; j < perTask; j++ {
+			x := []float64{rng.Float64(), rng.Float64()}
+			y := math.Sin(4*x[0]) + 0.5*float64(i)*x[1] + 0.05*rng.NormFloat64()
+			d.X[i] = append(d.X[i], x)
+			d.Y[i] = append(d.Y[i], y)
+		}
+	}
+	return d
+}
+
+func TestNewSelectsBackends(t *testing.T) {
+	for _, c := range []struct{ kind, want string }{
+		{"", KindLCM}, {KindLCM, KindLCM}, {KindGPIndep, KindGPIndep}, {KindRF, KindRF},
+	} {
+		f, err := New(c.kind)
+		if err != nil {
+			t.Fatalf("New(%q): %v", c.kind, err)
+		}
+		if f.Kind() != c.want {
+			t.Fatalf("New(%q).Kind() = %q, want %q", c.kind, f.Kind(), c.want)
+		}
+	}
+	if _, err := New("kriging"); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+// TestAllBackendsFitPredictRoundTrip exercises the full Model contract for
+// every backend: fit, allocation-free prediction through a workspace, and a
+// marshal/unmarshal round trip that predicts bitwise identically.
+func TestAllBackendsFitPredictRoundTrip(t *testing.T) {
+	data := testDataset(1, 2, 12)
+	for _, kind := range Kinds() {
+		f, err := New(kind)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := f.Fit(data, FitOptions{NumStarts: 2, MaxIter: 20, Seed: 7})
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if m.Kind() != kind || m.NumTasks() != 2 {
+			t.Fatalf("%s: Kind=%q NumTasks=%d", kind, m.Kind(), m.NumTasks())
+		}
+		blob, err := m.MarshalBinary()
+		if err != nil {
+			t.Fatalf("%s marshal: %v", kind, err)
+		}
+		back, err := f.UnmarshalBinary(blob)
+		if err != nil {
+			t.Fatalf("%s unmarshal: %v", kind, err)
+		}
+		rng := rand.New(rand.NewSource(2))
+		ws, wsBack := m.NewWorkspace(), back.NewWorkspace()
+		for k := 0; k < 40; k++ {
+			x := []float64{rng.Float64(), rng.Float64()}
+			task := k % 2
+			mu, v := m.PredictInto(ws, task, x)
+			if math.IsNaN(mu) || math.IsNaN(v) || v < 0 {
+				t.Fatalf("%s: degenerate posterior (%v, %v) at %v", kind, mu, v, x)
+			}
+			mu2, v2 := back.PredictInto(wsBack, task, x)
+			if math.Float64bits(mu) != math.Float64bits(mu2) || math.Float64bits(v) != math.Float64bits(v2) {
+				t.Fatalf("%s: round trip diverged at %v task %d", kind, x, task)
+			}
+		}
+	}
+}
+
+// TestFitDeterministicAcrossWorkers pins the determinism contract at the
+// abstraction boundary for every backend.
+func TestFitDeterministicAcrossWorkers(t *testing.T) {
+	data := testDataset(3, 2, 10)
+	for _, kind := range Kinds() {
+		f, err := New(kind)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m1, err := f.Fit(data, FitOptions{NumStarts: 2, MaxIter: 15, Seed: 5, Workers: 1})
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		m8, err := f.Fit(data, FitOptions{NumStarts: 2, MaxIter: 15, Seed: 5, Workers: 8})
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		rng := rand.New(rand.NewSource(4))
+		ws1, ws8 := m1.NewWorkspace(), m8.NewWorkspace()
+		for k := 0; k < 30; k++ {
+			x := []float64{rng.Float64(), rng.Float64()}
+			task := k % 2
+			muA, vA := m1.PredictInto(ws1, task, x)
+			muB, vB := m8.PredictInto(ws8, task, x)
+			if math.Float64bits(muA) != math.Float64bits(muB) || math.Float64bits(vA) != math.Float64bits(vB) {
+				t.Fatalf("%s: workers=1 vs workers=8 diverged at %v task %d", kind, x, task)
+			}
+		}
+	}
+}
+
+// TestGPIndepMatchesLCMSingleTask is the backend-parity contract: with one
+// task there is nothing to share across tasks, so the independent-GP backend
+// must reduce to the LCM backend exactly — same seed, same clamped Q, same
+// optimizer trajectory, bitwise-identical posterior.
+func TestGPIndepMatchesLCMSingleTask(t *testing.T) {
+	data := testDataset(9, 1, 14)
+	opts := FitOptions{NumStarts: 3, MaxIter: 40, Seed: 21}
+
+	lcmF, _ := New(KindLCM)
+	indepF, _ := New(KindGPIndep)
+	a, err := lcmF.Fit(data, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := indepF.Fit(data, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(6))
+	wsA, wsB := a.NewWorkspace(), b.NewWorkspace()
+	for k := 0; k < 60; k++ {
+		x := []float64{rng.Float64(), rng.Float64()}
+		muA, vA := a.PredictInto(wsA, 0, x)
+		muB, vB := b.PredictInto(wsB, 0, x)
+		if math.Float64bits(muA) != math.Float64bits(muB) || math.Float64bits(vA) != math.Float64bits(vB) {
+			t.Fatalf("lcm vs gp-indep diverged at %v: (%v,%v) vs (%v,%v)", x, muA, vA, muB, vB)
+		}
+	}
+}
+
+// TestWarmStartRoundTrip: a snapshot saved by one fit changes (and
+// determinizes) the next fit's optimizer trajectory for the GP backends, and
+// corrupt or cross-kind snapshots degrade to a cold start instead of failing.
+func TestWarmStartRoundTrip(t *testing.T) {
+	data := testDataset(11, 2, 10)
+	for _, kind := range []string{KindLCM, KindGPIndep} {
+		f, _ := New(kind)
+		prev, err := f.Fit(data, FitOptions{NumStarts: 2, MaxIter: 40, Seed: 1})
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		blob, err := prev.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		short := FitOptions{NumStarts: 1, MaxIter: 2, Seed: 13}
+		cold, err := f.Fit(data, short)
+		if err != nil {
+			t.Fatal(err)
+		}
+		warmOpts := short
+		warmOpts.WarmStart = blob
+		warm, err := f.Fit(data, warmOpts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		warm2, err := f.Fit(data, warmOpts)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		x := []float64{0.3, 0.6}
+		wsC, wsW, wsW2 := cold.NewWorkspace(), warm.NewWorkspace(), warm2.NewWorkspace()
+		muC, _ := cold.PredictInto(wsC, 0, x)
+		muW, _ := warm.PredictInto(wsW, 0, x)
+		muW2, _ := warm2.PredictInto(wsW2, 0, x)
+		if math.Float64bits(muW) != math.Float64bits(muW2) {
+			t.Fatalf("%s: warm-started fit not deterministic", kind)
+		}
+		if math.Float64bits(muW) == math.Float64bits(muC) {
+			t.Fatalf("%s: warm start had no effect (mu %v)", kind, muC)
+		}
+
+		// Corrupt snapshot → cold start reproduced bitwise.
+		badOpts := short
+		badOpts.WarmStart = []byte("not a snapshot")
+		fallback, err := f.Fit(data, badOpts)
+		if err != nil {
+			t.Fatalf("%s: corrupt warm start failed the fit: %v", kind, err)
+		}
+		wsF := fallback.NewWorkspace()
+		muF, _ := fallback.PredictInto(wsF, 0, x)
+		if math.Float64bits(muF) != math.Float64bits(muC) {
+			t.Fatalf("%s: corrupt warm start did not degrade to cold fit", kind)
+		}
+	}
+
+	// Forests ignore warm starts entirely.
+	rfF, _ := New(KindRF)
+	m1, err := rfF.Fit(data, FitOptions{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, _ := m1.MarshalBinary()
+	m2, err := rfF.Fit(data, FitOptions{Seed: 2, WarmStart: blob})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := []float64{0.4, 0.2}
+	muA, vA := m1.PredictInto(m1.NewWorkspace(), 0, x)
+	muB, vB := m2.PredictInto(m2.NewWorkspace(), 0, x)
+	if math.Float64bits(muA) != math.Float64bits(muB) || math.Float64bits(vA) != math.Float64bits(vB) {
+		t.Fatal("rf: warm start changed the fitted forest")
+	}
+}
+
+// TestUnmarshalRejectsCrossKind: snapshot containers are kind-tagged and a
+// backend refuses another backend's snapshot.
+func TestUnmarshalRejectsCrossKind(t *testing.T) {
+	data := testDataset(15, 2, 8)
+	rfF, _ := New(KindRF)
+	indepF, _ := New(KindGPIndep)
+	m, err := rfF.Fit(data, FitOptions{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := m.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := indepF.UnmarshalBinary(blob); err == nil {
+		t.Fatal("gp-indep accepted an rf snapshot")
+	}
+	if _, err := rfF.UnmarshalBinary([]byte(`{"kind":"rf","models":[]}`)); err == nil {
+		t.Fatal("empty model list accepted")
+	}
+}
+
+// TestLCMAccessor: the concrete-model escape hatch returns the wrapped LCM
+// for the lcm backend and nil otherwise.
+func TestLCMAccessor(t *testing.T) {
+	data := testDataset(17, 1, 8)
+	lcmF, _ := New(KindLCM)
+	rfF, _ := New(KindRF)
+	a, err := lcmF.Fit(data, FitOptions{NumStarts: 1, MaxIter: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := rfF.Fit(data, FitOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := LCM(a); m == nil || m.NumTasks != 1 {
+		t.Fatal("LCM accessor failed on lcm model")
+	}
+	if LCM(b) != nil {
+		t.Fatal("LCM accessor returned non-nil for rf model")
+	}
+	var _ *gp.LCM = LCM(a)
+}
