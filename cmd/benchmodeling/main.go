@@ -11,7 +11,17 @@
 //
 //	go test ./internal/gp/ -run XXX -bench LCMLogLikGrad
 //
+// It also runs an n-sweep (-sweep, default 300,3000,30000 total samples)
+// comparing the three ways the tuner can absorb one generation's batch of
+// new observations: a full exact refit (O(n³)), the incremental Cholesky
+// extension behind Options.RefitEvery (O(k·n²)), and the sparse "sgp"
+// backend (O(k·m²), m inducing points). The exact paths are skipped above
+// -exact-cap samples, where the dense n×n factorization stops being
+// realistic; sgp runs the whole sweep.
+//
 // Usage: go run ./cmd/benchmodeling [-o BENCH_MODELING.json] [-reps 3]
+//
+//	[-sweep 300,3000,30000] [-sweep-reps 1] [-exact-cap 4000]
 package main
 
 import (
@@ -22,10 +32,13 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
+	"strconv"
+	"strings"
 	"testing"
 	"time"
 
 	"repro/internal/gp"
+	"repro/internal/surrogate"
 )
 
 const (
@@ -55,6 +68,34 @@ type report struct {
 	PredictNsOp            int64   `json:"predict_ns_op"`
 	PredictBatchNsPerPoint int64   `json:"predict_batch_ns_per_point"`
 	PredictIntoAllocsPerOp float64 `json:"predict_into_allocs_per_op"`
+
+	Sweep []sweepPoint `json:"sweep,omitempty"`
+}
+
+// sweepBackend times one way of running a modeling phase at a given history
+// size: the initial fit, absorbing one generation's batch of new points
+// (a full refit pays FitNs again; an incremental/sparse model pays
+// AppendBatchNs), and the per-point prediction cost that drives the search
+// phase.
+type sweepBackend struct {
+	FitNs            int64 `json:"fit_ns"`
+	AppendBatchNs    int64 `json:"append_batch_ns"`
+	PredictNsPerWork int64 `json:"predict_ns_per_point"`
+}
+
+// sweepPoint is one n of the sweep. IncrementalSpeedup is the headline
+// ratio: how much cheaper absorbing one generation incrementally is than
+// refitting from scratch (exact.fit_ns / exact.append_batch_ns).
+type sweepPoint struct {
+	TotalSamples       int           `json:"total_samples"`
+	PerTask            int           `json:"samples_per_task"`
+	AppendBatch        int           `json:"append_batch"`
+	Reps               int           `json:"reps"`
+	Exact              *sweepBackend `json:"exact,omitempty"`
+	SGP                *sweepBackend `json:"sgp"`
+	SGPInducing        int           `json:"sgp_inducing"`
+	ExactSkipped       string        `json:"exact_skipped,omitempty"`
+	IncrementalSpeedup float64       `json:"incremental_vs_refit_speedup,omitempty"`
 }
 
 func syntheticDataset(rng *rand.Rand, tasks, samples, dim int) *gp.Dataset {
@@ -87,12 +128,155 @@ func bestOf(reps int, fn func()) int64 {
 	return best
 }
 
+// parseSweep parses the comma-separated -sweep list of total sample counts.
+func parseSweep(s string) ([]int, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 2*benchTasks {
+			return nil, fmt.Errorf("bad -sweep entry %q (want integers ≥ %d)", f, 2*benchTasks)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// predictCost times allocation-free posterior evaluation per point — the
+// search phase's inner loop — over a fixed probe set.
+func predictCost(m surrogate.Model, rng *rand.Rand, reps int) int64 {
+	const probes = 64
+	xs := make([][]float64, probes)
+	for k := range xs {
+		x := make([]float64, benchDim)
+		for d := range x {
+			x[d] = rng.Float64()
+		}
+		xs[k] = x
+	}
+	ws := m.NewWorkspace()
+	return bestOf(reps, func() {
+		for k, x := range xs {
+			m.PredictInto(ws, k%benchTasks, x)
+		}
+	}) / probes
+}
+
+// freshBatch draws one generation's worth of new observations: one point
+// per task, the shape a RefitEvery append phase hands the model.
+func freshBatch(rng *rand.Rand) *surrogate.Dataset {
+	delta := &surrogate.Dataset{
+		Dim: benchDim,
+		X:   make([][][]float64, benchTasks),
+		Y:   make([][]float64, benchTasks),
+	}
+	for i := 0; i < benchTasks; i++ {
+		x := make([]float64, benchDim)
+		for d := range x {
+			x[d] = rng.Float64()
+		}
+		delta.X[i] = [][]float64{x}
+		delta.Y[i] = []float64{math.Sin(2*math.Pi*x[0]) + 0.05*rng.NormFloat64()}
+	}
+	return delta
+}
+
+// sweepBackendRun fits kind on the dataset and times fit, one-generation
+// append, and per-point prediction. Each append reuses the same model (the
+// history grows by benchTasks per rep — exactly how a tuning run uses it).
+func sweepBackendRun(kind string, data *surrogate.Dataset, rng *rand.Rand, reps int) (*sweepBackend, error) {
+	f, err := surrogate.New(kind)
+	if err != nil {
+		return nil, err
+	}
+	opts := surrogate.FitOptions{
+		Q: benchQ, NumStarts: 1, MaxIter: 2,
+		Workers: runtime.GOMAXPROCS(0), Seed: 3,
+	}
+	var model surrogate.Model
+	fitNs := bestOf(reps, func() {
+		if model, err = f.Fit(data, opts); err != nil {
+			panic(err)
+		}
+	})
+	inc := model.(surrogate.Incremental)
+	appendNs := int64(math.MaxInt64)
+	for r := 0; r < reps; r++ {
+		delta := freshBatch(rng)
+		t0 := time.Now()
+		if err := inc.Append(delta, opts.Workers); err != nil {
+			return nil, fmt.Errorf("%s append: %w", kind, err)
+		}
+		if d := time.Since(t0).Nanoseconds(); d < appendNs {
+			appendNs = d
+		}
+	}
+	return &sweepBackend{
+		FitNs:            fitNs,
+		AppendBatchNs:    appendNs,
+		PredictNsPerWork: predictCost(model, rng, reps),
+	}, nil
+}
+
+// runSweep measures the n-sweep: exact refit vs incremental append vs sgp at
+// each history size. Sizes above exactCap skip the exact backend — the dense
+// n×n factorization (and its O(n²) memory) is the very wall the sweep
+// documents.
+func runSweep(sizes []int, reps, exactCap int) ([]sweepPoint, error) {
+	var points []sweepPoint
+	for _, total := range sizes {
+		perTask := total / benchTasks
+		rng := rand.New(rand.NewSource(11))
+		data := syntheticDataset(rng, benchTasks, perTask, benchDim)
+		pt := sweepPoint{
+			TotalSamples: perTask * benchTasks,
+			PerTask:      perTask,
+			AppendBatch:  benchTasks,
+			Reps:         reps,
+			SGPInducing:  128,
+		}
+		if total <= exactCap {
+			exact, err := sweepBackendRun(surrogate.KindLCM, data, rng, reps)
+			if err != nil {
+				return nil, err
+			}
+			pt.Exact = exact
+			if exact.AppendBatchNs > 0 {
+				pt.IncrementalSpeedup = float64(exact.FitNs) / float64(exact.AppendBatchNs)
+			}
+		} else {
+			pt.ExactSkipped = fmt.Sprintf("dense %d×%d factorization exceeds -exact-cap %d", total, total, exactCap)
+		}
+		sgp, err := sweepBackendRun(surrogate.KindSGP, data, rng, reps)
+		if err != nil {
+			return nil, err
+		}
+		pt.SGP = sgp
+		fmt.Printf("sweep n=%d done\n", pt.TotalSamples)
+		points = append(points, pt)
+	}
+	return points, nil
+}
+
 func main() {
 	out := flag.String("o", "BENCH_MODELING.json", "output path")
 	reps := flag.Int("reps", 3, "repetitions per measurement (best is kept)")
+	sweepList := flag.String("sweep", "300,3000,30000", "comma-separated total sample counts for the scaling sweep (empty disables it)")
+	sweepReps := flag.Int("sweep-reps", 1, "repetitions per sweep measurement")
+	exactCap := flag.Int("exact-cap", 4000, "largest total sample count the exact O(n³) backends are timed at")
 	flag.Parse()
 	if *reps < 1 {
 		*reps = 1
+	}
+	if *sweepReps < 1 {
+		*sweepReps = 1
+	}
+	sizes, err := parseSweep(*sweepList)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 
 	rng := rand.New(rand.NewSource(1))
@@ -112,7 +296,6 @@ func main() {
 	rep.Config.Reps = *reps
 
 	var m1, m4 *gp.LCM
-	var err error
 	o1 := opts
 	o1.Workers = 1
 	rep.FitLCMWorkers1NsOp = bestOf(*reps, func() {
@@ -156,6 +339,15 @@ func main() {
 	rep.PredictIntoAllocsPerOp = testing.AllocsPerRun(200, func() {
 		m1.PredictInto(ws, 0, xs[0])
 	})
+
+	if len(sizes) > 0 {
+		sweep, err := runSweep(sizes, *sweepReps, *exactCap)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sweep:", err)
+			os.Exit(1)
+		}
+		rep.Sweep = sweep
+	}
 
 	buf, err := json.MarshalIndent(&rep, "", "  ")
 	if err != nil {

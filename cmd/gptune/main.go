@@ -63,6 +63,8 @@ func main() {
 		ckpt    = flag.String("checkpoint", "", "write-ahead log path: every evaluation is persisted as it completes (gptune tuner only)")
 		resume  = flag.String("resume", "", "checkpoint path of a killed run to resume (same app, seed and flags required)")
 		surr    = flag.String("surrogate", "", "surrogate backend: "+strings.Join(gptune.SurrogateKinds(), ", ")+" (default lcm; gptune tuner only)")
+		refit   = flag.Int("refit-every", 0, "relearn surrogate hyperparameters every k-th generation, extending the model incrementally in between (0 or 1 = every generation; gptune tuner only)")
+		induce  = flag.Int("inducing", 0, "inducing points per task for -surrogate sgp (0 = default 128)")
 		warm    = flag.String("warm", "", "checkpoint path of a previous run whose fitted-model snapshots warm-start this run's modeling phases")
 	)
 	flag.Parse()
@@ -87,7 +89,7 @@ func main() {
 		}
 		opts := gptune.Options{
 			EpsTot: *eps, Seed: *seed, Workers: *workers, LogY: true,
-			Surrogate: *surr,
+			Surrogate: *surr, RefitEvery: *refit, Inducing: *induce,
 		}
 		if cp != nil {
 			defer cp.Close()

@@ -136,16 +136,34 @@ func main() {
 // best output.
 func printStats(db *histdb.DB, path, problemFilter string) {
 	evals, models := 0, 0
+	byKind := map[string]int{}
 	probSet := map[string]bool{}
 	for _, r := range db.Query(problemFilter, nil) {
 		if r.IsEval() {
 			evals++
 		} else {
 			models++
+			byKind[r.Surrogate]++
 		}
 		probSet[r.Problem] = true
 	}
 	fmt.Printf("%s: %d records (%d evaluations, %d model snapshots)\n", path, evals+models, evals, models)
+	if len(byKind) > 0 {
+		kinds := make([]string, 0, len(byKind))
+		for k := range byKind {
+			kinds = append(kinds, k)
+		}
+		sort.Strings(kinds)
+		fmt.Print("  model snapshots by surrogate:")
+		for _, k := range kinds {
+			name := k
+			if name == "" {
+				name = "(unknown)"
+			}
+			fmt.Printf(" %s=%d", name, byKind[k])
+		}
+		fmt.Println()
+	}
 	if v, err := histdb.Verify(path); err == nil {
 		fmt.Printf("  storage: %d in snapshot, %d in write-ahead log", v.SnapshotRecords, v.LogRecords)
 		if v.TornBytes > 0 {

@@ -258,10 +258,14 @@ type (
 	ModelStore    = core.ModelStore
 )
 
-// SurrogateKinds lists the model backends selectable via Options.Surrogate:
-// "lcm" (the paper's multitask Linear Coregionalization Model, the default),
-// "gp-indep" (independent per-task GPs — no cross-task learning), and "rf"
-// (random forest, the SuRF-style Section 5 approach).
+// SurrogateKinds lists the model backends selectable via Options.Surrogate,
+// in the surrogate registry's order: "lcm" (the paper's multitask Linear
+// Coregionalization Model, the default), "gp-indep" (independent per-task
+// GPs — no cross-task learning), "sgp" (sparse inducing-point GPs that scale
+// to histories far past the exact backends' O(n³) ceiling), and "rf" (random
+// forest, the SuRF-style Section 5 approach). The registry is the single
+// source of truth — CLI help and service validation errors both derive from
+// this list.
 func SurrogateKinds() []string { return surrogate.Kinds() }
 
 // LoadModelSnapshots reads the fitted-surrogate snapshots a checkpointed run

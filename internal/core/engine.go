@@ -410,29 +410,26 @@ func (e *Engine) genInit() ([]*engJob, error) {
 }
 
 // genSearchSingle performs one Algorithm 1 generation: modeling phase (fit
-// the joint LCM on all data) then search phase (per-task EI maximization by
-// PSO), producing the next batch of configurations in (task, slot) order.
+// the joint LCM on all data, or — on incremental generations under
+// Options.RefitEvery — extend the previous model with the new points) then
+// search phase (per-task EI maximization by PSO), producing the next batch
+// of configurations in (task, slot) order.
 func (e *Engine) genSearchSingle() ([]*engJob, error) {
 	st := e.st
-	fs := st.buildFeatureScale()
 	ms := st.minSamples()
 
 	t0 := st.opts.now()
-	data, tv := st.buildDataset(0, fs)
-	model, err := st.fitter.Fit(data, surrogate.FitOptions{
-		Q:         st.opts.Q,
-		NumStarts: st.opts.NumStarts,
-		Workers:   st.opts.Workers,
-		MaxIter:   st.opts.ModelMaxIter,
-		Seed:      st.opts.Seed + int64(ms),
-		WarmStart: st.warmSnapshot(0),
-	})
+	models, tvs, fs, refit, err := st.modelPhase(1, ms)
 	st.stats.Modeling += st.opts.since(t0)
 	if err != nil {
-		return nil, fmt.Errorf("core: modeling phase: %w", err)
-	}
-	if err := st.saveTransfer(model, 0); err != nil {
 		return nil, err
+	}
+	// Incremental generations skip the transfer snapshot: the model's
+	// hyperparameters haven't moved since the refit that already saved them.
+	if refit {
+		if err := st.saveTransfer(models[0], 0); err != nil {
+			return nil, err
+		}
 	}
 
 	// Search phase: per task, maximize the acquisition over the feasible
@@ -441,7 +438,7 @@ func (e *Engine) genSearchSingle() ([]*engJob, error) {
 	t1 := st.opts.now()
 	newX := make([][][]float64, len(st.tasks))
 	mpx.ParallelFor(len(st.tasks), st.opts.Workers, func(i int) {
-		newX[i] = st.searchBatch(i, model, tv, fs)
+		newX[i] = st.searchBatch(i, models[0], tvs[0], fs)
 	})
 	st.stats.Search += st.opts.since(t1)
 
@@ -449,38 +446,25 @@ func (e *Engine) genSearchSingle() ([]*engJob, error) {
 }
 
 // genSearchMulti performs one Algorithm 2 generation: one LCM per objective
-// in the modeling phase, then per-task NSGA-II search over the vector of
-// per-objective Expected Improvements.
+// in the modeling phase (refit or incremental, like genSearchSingle), then
+// per-task NSGA-II search over the vector of per-objective Expected
+// Improvements.
 func (e *Engine) genSearchMulti() ([]*engJob, error) {
 	st := e.st
 	gamma := st.p.Outputs.Dim()
-	fs := st.buildFeatureScale()
 	ms := st.minSamples()
 
 	t0 := st.opts.now()
-	models := make([]surrogate.Model, gamma)
-	transforms := make([]func(float64) float64, gamma)
-	for s := 0; s < gamma; s++ {
-		data, tv := st.buildDataset(s, fs)
-		model, err := st.fitter.Fit(data, surrogate.FitOptions{
-			Q:         st.opts.Q,
-			NumStarts: st.opts.NumStarts,
-			Workers:   st.opts.Workers,
-			MaxIter:   st.opts.ModelMaxIter,
-			Seed:      st.opts.Seed + int64(ms)*31 + int64(s),
-			WarmStart: st.warmSnapshot(s),
-		})
-		if err != nil {
-			st.stats.Modeling += st.opts.since(t0)
-			return nil, fmt.Errorf("core: modeling phase (objective %d): %w", s, err)
-		}
-		models[s] = model
-		transforms[s] = tv
-	}
+	models, transforms, fs, refit, err := st.modelPhase(gamma, ms)
 	st.stats.Modeling += st.opts.since(t0)
-	for s, model := range models {
-		if err := st.saveTransfer(model, s); err != nil {
-			return nil, err
+	if err != nil {
+		return nil, err
+	}
+	if refit {
+		for s, model := range models {
+			if err := st.saveTransfer(model, s); err != nil {
+				return nil, err
+			}
 		}
 	}
 

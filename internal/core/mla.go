@@ -139,6 +139,7 @@ type state struct {
 	Y      [][][]float64 // [task][sample] γ outputs
 	done   []int         // evaluations performed this run, per task (priors excluded)
 	coeffs []float64     // performance-model coefficients
+	mdl    modelState    // incremental-modeling bookkeeping (RefitEvery > 1)
 	stats  PhaseStats
 	evals  atomic.Int64 // objective evaluations; mutated from worker goroutines
 	rng    *rand.Rand
@@ -351,21 +352,34 @@ func (st *state) modelPoint(task int, xNative []float64, fs *featureScale) []flo
 	return append(u, feat...)
 }
 
-// yTransform returns the observed objective s for all tasks, log-transformed
-// when requested and possible, plus the matching inverse-free "transform one
-// value" helper for incumbents.
-func (st *state) yTransform(s int) (tv func(float64) float64) {
+// logApplied reports whether objective s is modeled in log space this
+// generation: requested via Options.LogY and possible (every observation
+// positive). Factored out of yTransform so the incremental modeling path
+// can record — and later re-validate — the decision a refit froze.
+func (st *state) logApplied(s int) bool {
 	if !st.opts.LogY {
-		return func(v float64) float64 { return v }
+		return false
 	}
 	for i := range st.Y {
 		for _, y := range st.Y[i] {
 			if y[s] <= 0 {
-				return func(v float64) float64 { return v }
+				return false
 			}
 		}
 	}
-	return math.Log
+	return true
+}
+
+func identityTransform(v float64) float64 { return v }
+
+// yTransform returns the observed objective s for all tasks, log-transformed
+// when requested and possible, plus the matching inverse-free "transform one
+// value" helper for incumbents.
+func (st *state) yTransform(s int) (tv func(float64) float64) {
+	if st.logApplied(s) {
+		return math.Log
+	}
+	return identityTransform
 }
 
 // buildDataset assembles the surrogate training set for objective s.

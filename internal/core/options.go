@@ -29,10 +29,29 @@ type Options struct {
 
 	// Surrogate selects the performance-model backend for the modeling
 	// phase: "lcm" (the paper's multitask LCM, the default), "gp-indep"
-	// (independent single-task GPs — the multitask ablation), or "rf"
-	// (per-task random forests, the SuRF-style baseline). Unknown names fail
-	// NewEngine/Run up front. See internal/surrogate.
+	// (independent single-task GPs — the multitask ablation), "sgp"
+	// (sparse inducing-point GPs for large histories), or "rf" (per-task
+	// random forests, the SuRF-style baseline). surrogate.Kinds() is the
+	// authoritative list; unknown names fail NewEngine/Run up front. See
+	// internal/surrogate.
 	Surrogate string
+	// RefitEvery controls how often the modeling phase relearns surrogate
+	// hyperparameters from scratch. With the default (0 or 1) every
+	// generation refits — the canonical Algorithm 1/2 behavior, bitwise
+	// unchanged. With k > 1 only every k-th generation refits (warm-started
+	// from the in-run model); the generations between extend the existing
+	// model with the newly observed points at frozen hyperparameters (a
+	// rank-k Cholesky extension for the GP backends, sufficient-statistic
+	// updates for "sgp"), cutting per-generation modeling from O(n³) to
+	// O(k·n²). Backends without incremental support ("rf") refit every
+	// generation regardless. Incremental generations reuse the feature
+	// scale and log transform frozen at the last refit; if a frozen log
+	// transform turns invalid (a new observation ≤ 0) or an append fails,
+	// that generation falls back to a full refit.
+	RefitEvery int
+	// Inducing bounds the "sgp" backend's per-task inducing set (default
+	// 128; other backends ignore it). See internal/surrogate.
+	Inducing int
 	// Q is the number of LCM latent functions (default min(δ, 3)).
 	Q int
 	// NumStarts is n_start, the modeling phase's L-BFGS restarts (default 4).

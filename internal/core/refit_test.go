@@ -1,0 +1,90 @@
+package core
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/surrogate"
+)
+
+// runRefit runs the analytical benchmark with the given worker count,
+// GOMAXPROCS and extra option tweaks, returning the full tuning history.
+func runRefit(t *testing.T, workers, procs int, tweak func(*Options)) *Result {
+	t.Helper()
+	prev := runtime.GOMAXPROCS(procs)
+	defer runtime.GOMAXPROCS(prev)
+	opts := Options{EpsTot: 12, Seed: 42, Workers: workers}
+	if tweak != nil {
+		tweak(&opts)
+	}
+	res, err := Run(analyticalProblem(), [][]float64{{0}, {1.5}, {3}}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestRefitEveryOneMatchesDefaultBitwise pins the compatibility contract:
+// RefitEvery ≤ 1 is not a near-miss of the historical behavior, it IS the
+// historical behavior — same fits, same seeds, same history, bitwise.
+func TestRefitEveryOneMatchesDefaultBitwise(t *testing.T) {
+	procs := runtime.GOMAXPROCS(0)
+	base := runRefit(t, 4, procs, nil)
+	one := runRefit(t, 4, procs, func(o *Options) { o.RefitEvery = 1 })
+	requireBitwiseEqualHistories(t, "RefitEvery=1 vs default", base, one)
+}
+
+// TestRefitEveryDeterministicAcrossWorkers extends the worker-count
+// determinism contract to incremental modeling: with RefitEvery > 1 the
+// appended factor extensions (lcm) and sufficient-statistic updates (sgp)
+// must leave the tuning history bitwise independent of parallelism.
+func TestRefitEveryDeterministicAcrossWorkers(t *testing.T) {
+	for _, kind := range []string{surrogate.KindLCM, surrogate.KindSGP} {
+		tweak := func(o *Options) {
+			o.Surrogate = kind
+			o.RefitEvery = 3
+		}
+		serial := runRefit(t, 1, 1, tweak)
+		parallel := runRefit(t, 8, 8, tweak)
+		requireBitwiseEqualHistories(t, kind+" RefitEvery=3 workers 1 vs 8", serial, parallel)
+	}
+}
+
+// countStore counts transfer snapshots; incremental generations must not
+// produce any (the hyperparameters haven't moved since the refit that
+// already saved them).
+type countStore struct{ saves int }
+
+func (c *countStore) SaveModel(ModelSnapshot) error {
+	c.saves++
+	return nil
+}
+
+// TestRefitEveryCadence observes the refit schedule through the transfer
+// sink: the 12-eval benchmark runs 6 search generations, so RefitEvery=3
+// must refit (and snapshot) on generations 1 and 4 only, while the default
+// snapshots all 6. It also pins that the incremental path genuinely runs —
+// if appends silently fell back to refits, the counts would match.
+func TestRefitEveryCadence(t *testing.T) {
+	procs := runtime.GOMAXPROCS(0)
+	every := &countStore{}
+	runRefit(t, 4, procs, func(o *Options) { o.Transfer = every })
+	inc := &countStore{}
+	runRefit(t, 4, procs, func(o *Options) { o.Transfer = inc; o.RefitEvery = 3 })
+	if every.saves != 6 {
+		t.Fatalf("default run saved %d snapshots, want 6", every.saves)
+	}
+	if inc.saves != 2 {
+		t.Fatalf("RefitEvery=3 run saved %d snapshots, want 2 (generations 1 and 4)", inc.saves)
+	}
+	// rf has no incremental path: every generation refits and snapshots.
+	rf := &countStore{}
+	runRefit(t, 4, procs, func(o *Options) {
+		o.Transfer = rf
+		o.RefitEvery = 3
+		o.Surrogate = surrogate.KindRF
+	})
+	if rf.saves != 6 {
+		t.Fatalf("rf RefitEvery=3 run saved %d snapshots, want 6 (no incremental support)", rf.saves)
+	}
+}

@@ -1,0 +1,188 @@
+package gp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/la"
+)
+
+// appendTestData builds a small smooth multitask dataset.
+func appendTestData(rng *rand.Rand, tasks, samples, dim int) *Dataset {
+	d := &Dataset{Dim: dim, X: make([][][]float64, tasks), Y: make([][]float64, tasks)}
+	for i := 0; i < tasks; i++ {
+		for j := 0; j < samples; j++ {
+			x := make([]float64, dim)
+			s := 0.0
+			for k := range x {
+				x[k] = rng.Float64()
+				s += math.Sin(3*x[k] + float64(i))
+			}
+			d.X[i] = append(d.X[i], x)
+			d.Y[i] = append(d.Y[i], s+0.01*rng.NormFloat64())
+		}
+	}
+	return d
+}
+
+// TestAppendObservationsMatchesDirectPosterior: extending a fitted model must
+// yield the exact GP posterior at the frozen hyperparameters on the enlarged
+// training set. The oracle builds that posterior directly (dense covariance,
+// recorded jitter, dense solves).
+func TestAppendObservationsMatchesDirectPosterior(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	data := appendTestData(rng, 2, 12, 3)
+	m, err := FitLCM(data, FitOptions{Q: 2, NumStarts: 2, MaxIter: 20, Seed: 9})
+	if err != nil {
+		t.Fatalf("FitLCM: %v", err)
+	}
+	// New points, alternating tasks.
+	const k = 5
+	xs := make([][]float64, k)
+	tasksOf := make([]int, k)
+	ys := make([]float64, k)
+	for j := 0; j < k; j++ {
+		x := []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+		xs[j] = x
+		tasksOf[j] = j % 2
+		ys[j] = math.Sin(3*x[0]) + math.Sin(3*x[1]) + math.Sin(3*x[2])
+	}
+	if err := m.AppendObservations(xs, tasksOf, ys, 2); err != nil {
+		t.Fatalf("AppendObservations: %v", err)
+	}
+	if m.NumSamples() != 24+k {
+		t.Fatalf("NumSamples = %d, want %d", m.NumSamples(), 24+k)
+	}
+
+	// Oracle: dense posterior at the same hyperparameters on all 24+k points.
+	flatX := append([][]float64(nil), m.flatX...)
+	taskOf := append([]int(nil), m.taskOf...)
+	sigma := m.covariance(flatX, taskOf)
+	n := len(flatX)
+	for i := 0; i < n; i++ {
+		sigma.Data[i*n+i] += m.Jitter
+	}
+	l, err := la.Cholesky(sigma)
+	if err != nil {
+		t.Fatalf("oracle Cholesky: %v", err)
+	}
+	alpha := la.SolveCholVec(l, m.yNorm)
+
+	ws := m.NewPredictWorkspace()
+	for trial := 0; trial < 25; trial++ {
+		x := []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+		task := trial % 2
+		gotMu, gotVar := m.PredictInto(ws, task, x)
+
+		kstar := make([]float64, n)
+		for r := 0; r < n; r++ {
+			kstar[r] = m.crossCov(x, task, flatX[r], taskOf[r])
+		}
+		mu := la.Dot(kstar, alpha)
+		prior := m.D[task]
+		for q := 0; q < m.Q; q++ {
+			prior += m.A[q][task]*m.A[q][task] + m.B[q][task]
+		}
+		v := la.CopyVec(kstar)
+		la.ForwardSubst(l, v)
+		variance := prior - la.Dot(v, v)
+		if variance < 0 {
+			variance = 0
+		}
+		wantMu := mu*m.yStd + m.yMean
+		wantVar := variance * m.yStd * m.yStd
+
+		if math.Abs(gotMu-wantMu) > 1e-8*math.Max(1, math.Abs(wantMu)) {
+			t.Fatalf("trial %d: mean %v, oracle %v", trial, gotMu, wantMu)
+		}
+		if math.Abs(gotVar-wantVar) > 1e-8*math.Max(1, wantVar) {
+			t.Fatalf("trial %d: variance %v, oracle %v", trial, gotVar, wantVar)
+		}
+	}
+}
+
+// TestAppendObservationsWorkerInvariant: the extension must be bitwise
+// identical for any workers value, and one k-point append must be bitwise
+// identical to k single-point appends.
+func TestAppendObservationsWorkerInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	data := appendTestData(rng, 3, 10, 2)
+	fit := func() *LCM {
+		m, err := FitLCM(data, FitOptions{Q: 2, NumStarts: 1, MaxIter: 10, Seed: 4})
+		if err != nil {
+			t.Fatalf("FitLCM: %v", err)
+		}
+		return m
+	}
+	const k = 4
+	xs := make([][]float64, k)
+	tasksOf := make([]int, k)
+	ys := make([]float64, k)
+	for j := 0; j < k; j++ {
+		xs[j] = []float64{rng.Float64(), rng.Float64()}
+		tasksOf[j] = j % 3
+		ys[j] = rng.NormFloat64()
+	}
+	block1, block8, oneAtATime := fit(), fit(), fit()
+	if err := block1.AppendObservations(xs, tasksOf, ys, 1); err != nil {
+		t.Fatalf("append workers=1: %v", err)
+	}
+	if err := block8.AppendObservations(xs, tasksOf, ys, 8); err != nil {
+		t.Fatalf("append workers=8: %v", err)
+	}
+	for j := 0; j < k; j++ {
+		if err := oneAtATime.AppendObservations(xs[j:j+1], tasksOf[j:j+1], ys[j:j+1], 3); err != nil {
+			t.Fatalf("append point %d: %v", j, err)
+		}
+	}
+	wsA, wsB, wsC := block1.NewPredictWorkspace(), block8.NewPredictWorkspace(), oneAtATime.NewPredictWorkspace()
+	for trial := 0; trial < 20; trial++ {
+		x := []float64{rng.Float64(), rng.Float64()}
+		task := trial % 3
+		muA, varA := block1.PredictInto(wsA, task, x)
+		muB, varB := block8.PredictInto(wsB, task, x)
+		muC, varC := oneAtATime.PredictInto(wsC, task, x)
+		if math.Float64bits(muA) != math.Float64bits(muB) || math.Float64bits(varA) != math.Float64bits(varB) {
+			t.Fatalf("trial %d: workers=1 vs workers=8 predictions differ", trial)
+		}
+		if math.Float64bits(muA) != math.Float64bits(muC) || math.Float64bits(varA) != math.Float64bits(varC) {
+			t.Fatalf("trial %d: blocked vs one-at-a-time predictions differ", trial)
+		}
+	}
+}
+
+// TestAppendObservationsRejectsBadInput covers the validation paths and that
+// a failed append leaves the model untouched.
+func TestAppendObservationsRejectsBadInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	data := appendTestData(rng, 2, 8, 2)
+	m, err := FitLCM(data, FitOptions{Q: 1, NumStarts: 1, MaxIter: 10, Seed: 2})
+	if err != nil {
+		t.Fatalf("FitLCM: %v", err)
+	}
+	n0 := m.NumSamples()
+	cases := []struct {
+		xs    [][]float64
+		tasks []int
+		ys    []float64
+	}{
+		{[][]float64{{0.1}}, []int{0}, []float64{1}},                     // wrong dim
+		{[][]float64{{0.1, 0.2}}, []int{5}, []float64{1}},                // task out of range
+		{[][]float64{{0.1, 0.2}}, []int{0}, []float64{math.NaN()}},       // non-finite y
+		{[][]float64{{math.Inf(1), 0.2}}, []int{0}, []float64{1}},        // non-finite x
+		{[][]float64{{0.1, 0.2}, {0.3, 0.4}}, []int{0}, []float64{1, 2}}, // length mismatch
+	}
+	for i, c := range cases {
+		if err := m.AppendObservations(c.xs, c.tasks, c.ys, 1); err == nil {
+			t.Fatalf("case %d: append accepted bad input", i)
+		}
+		if m.NumSamples() != n0 {
+			t.Fatalf("case %d: failed append changed the model", i)
+		}
+	}
+	var bare LCM
+	if err := bare.AppendObservations([][]float64{{0, 0}}, []int{0}, []float64{1}, 1); err == nil {
+		t.Fatalf("append on unfitted model succeeded")
+	}
+}

@@ -34,7 +34,7 @@ func (m *LCM) LeaveOneOut() (*LOODiagnostics, error) {
 		return nil, errors.New("gp: LeaveOneOut on unfitted model")
 	}
 	n := len(m.flatX)
-	inv := la.CholInverse(m.chol)
+	inv := la.CholInverse(m.chol.Dense())
 	d := &LOODiagnostics{
 		Mean:         make([]float64, n),
 		Variance:     make([]float64, n),

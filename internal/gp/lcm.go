@@ -83,10 +83,12 @@ type LCM struct {
 	LogLik   float64     // log marginal likelihood at the fitted state
 	Jitter   float64     // diagonal jitter applied during factorization
 
-	// Fitted prediction state.
+	// Fitted prediction state. The Cholesky factor lives in packed
+	// triangular form so AppendObservations can grow it in place — the
+	// incremental exact path behind core.Options.RefitEvery.
 	flatX  [][]float64
 	taskOf []int
-	chol   *la.Matrix
+	chol   *la.TriPacked
 	alpha  []float64
 	yNorm  []float64 // standardized training outputs (for LOO diagnostics)
 	yMean  float64
@@ -282,12 +284,18 @@ func FitLCM(data *Dataset, options FitOptions) (*LCM, error) {
 		return nil, fmt.Errorf("gp: final covariance factorization: %w", err)
 	}
 	model.Jitter = jit
-	model.chol = l
+	model.chol = la.PackChol(l)
 	model.alpha = la.SolveCholVec(l, yn)
 	model.yNorm = yn
 	model.prepPredict()
 	return model, nil
 }
+
+// OutputStats returns the output standardization (mean, std) the fit froze:
+// predictions are de-standardized with these, and consumers layering their
+// own posterior algebra on the fitted hyperparameters (the sparse-GP
+// backend) must normalize outputs identically.
+func (m *LCM) OutputStats() (mean, std float64) { return m.yMean, m.yStd }
 
 func allFinite(v []float64) bool {
 	for _, x := range v {
@@ -416,7 +424,7 @@ func (m *LCM) Predict(task int, x []float64) (mean, variance float64) {
 		prior += m.A[q][task]*m.A[q][task] + m.B[q][task]
 	}
 	v := la.CopyVec(kstar)
-	la.ForwardSubst(m.chol, v)
+	m.chol.ForwardSubst(v)
 	variance = prior - la.Dot(v, v)
 	if variance < 0 {
 		variance = 0

@@ -64,6 +64,14 @@ func (s *nfScalar) UnmarshalJSON(data []byte) error {
 	return unmarshalNF(data, (*float64)(s))
 }
 
+// NFScalar and NFVec expose the non-finite-safe wire types to other
+// packages' snapshot formats (the surrogate package's sparse-GP backend
+// serializes hyperparameters with the same Inf/NaN hazards).
+type (
+	NFScalar = nfScalar
+	NFVec    = nfVec
+)
+
 // nfVec is a []float64 whose elements use the nfScalar wire form.
 type nfVec []float64
 
@@ -240,7 +248,7 @@ func (m *LCM) UnmarshalBinary(data []byte) error {
 		return fmt.Errorf("gp: refactorizing LCM snapshot: %w", err)
 	}
 	m.Jitter += extra
-	m.chol = l
+	m.chol = la.PackChol(l)
 	m.alpha = la.SolveCholVec(l, m.yNorm)
 	m.prepPredict()
 	return nil

@@ -79,10 +79,16 @@ func (m *LCM) PredictInto(ws *PredictWorkspace, task int, x []float64) (mean, va
 	if m.predCoef == nil {
 		panic("gp: PredictInto on unfitted model")
 	}
+	if n := len(m.flatX); len(ws.kstar) != n {
+		// The model grew via AppendObservations since ws was created; resize
+		// once and stay allocation-free until the next append.
+		ws.kstar = make([]float64, n)
+		ws.v = make([]float64, n)
+	}
 	m.kstarInto(ws, task, x)
 	mu := la.Dot(ws.kstar, m.alpha)
 	copy(ws.v, ws.kstar)
-	la.ForwardSubst(m.chol, ws.v)
+	m.chol.ForwardSubst(ws.v)
 	variance = m.predPrior[task] - la.Dot(ws.v, ws.v)
 	if variance < 0 {
 		variance = 0

@@ -1,0 +1,247 @@
+package la
+
+import (
+	"errors"
+	"math"
+)
+
+// TriPacked is a lower-triangular matrix stored in packed row-major form:
+// row i occupies data[i(i+1)/2 : i(i+1)/2+i+1]. It is the growable home of a
+// Cholesky factor: appending a row costs one slice append plus the O(n²)
+// substitution work, instead of the O(n²) reallocate-and-copy a dense Matrix
+// would pay before any arithmetic. Packing also halves the memory of large
+// factors, which is what lets the incremental exact surrogate hold histories
+// an order of magnitude past the refit-from-scratch ceiling.
+//
+// The arithmetic of every method matches the dense Matrix routines operation
+// for operation (same Dot calls over the same prefixes, in the same order),
+// so a factor moved between representations yields bitwise-identical solves.
+type TriPacked struct {
+	n    int
+	data []float64 // len n(n+1)/2
+}
+
+// NewTriPacked returns an empty factor with capacity reserved for an n×n
+// lower triangle, ready to grow via AppendRow/AppendRows.
+func NewTriPacked(n int) *TriPacked {
+	if n < 0 {
+		n = 0
+	}
+	return &TriPacked{data: make([]float64, 0, n*(n+1)/2)}
+}
+
+// PackChol packs the lower triangle of a dense factor (as produced by
+// Cholesky or ParallelCholesky) into a TriPacked. The strict upper triangle
+// of l is ignored.
+func PackChol(l *Matrix) *TriPacked {
+	if l.Rows != l.Cols {
+		panic("la: PackChol of non-square matrix")
+	}
+	n := l.Rows
+	t := &TriPacked{n: n, data: make([]float64, n*(n+1)/2)}
+	for i := 0; i < n; i++ {
+		copy(t.Row(i), l.Row(i)[:i+1])
+	}
+	return t
+}
+
+// N returns the current order of the factor.
+func (t *TriPacked) N() int { return t.n }
+
+// Row returns a view of packed row i (length i+1, shared storage).
+func (t *TriPacked) Row(i int) []float64 {
+	off := i * (i + 1) / 2
+	return t.data[off : off+i+1]
+}
+
+// At returns element (i, j) for j ≤ i.
+func (t *TriPacked) At(i, j int) float64 { return t.data[i*(i+1)/2+j] }
+
+// Clone returns a deep copy.
+func (t *TriPacked) Clone() *TriPacked {
+	c := &TriPacked{n: t.n, data: make([]float64, len(t.data))}
+	copy(c.data, t.data)
+	return c
+}
+
+// Dense expands the factor to a dense n×n Matrix with a zero strict upper
+// triangle, for consumers of the dense kernels (CholInverse diagnostics).
+func (t *TriPacked) Dense() *Matrix {
+	m := NewMatrix(t.n, t.n)
+	for i := 0; i < t.n; i++ {
+		copy(m.Row(i)[:i+1], t.Row(i))
+	}
+	return m
+}
+
+// ForwardSubst solves L·y = b in place (b becomes y). The recurrence is the
+// dense ForwardSubst's exactly, so results are bitwise identical.
+func (t *TriPacked) ForwardSubst(b []float64) {
+	if len(b) != t.n {
+		panic("la: TriPacked.ForwardSubst dimension mismatch")
+	}
+	for i := 0; i < t.n; i++ {
+		li := t.Row(i)
+		b[i] = (b[i] - Dot(li[:i], b[:i])) / li[i]
+	}
+}
+
+// BackwardSubstT solves Lᵀ·x = b in place (b becomes x). Same column-order
+// accumulation as the dense BackwardSubstT.
+func (t *TriPacked) BackwardSubstT(b []float64) {
+	if len(b) != t.n {
+		panic("la: TriPacked.BackwardSubstT dimension mismatch")
+	}
+	for i := t.n - 1; i >= 0; i-- {
+		s := b[i]
+		for k := i + 1; k < t.n; k++ {
+			s -= t.At(k, i) * b[k]
+		}
+		b[i] = s / t.At(i, i)
+	}
+}
+
+// SolveVec solves (L·Lᵀ)·x = b, returning x in a new slice.
+func (t *TriPacked) SolveVec(b []float64) []float64 {
+	y := CopyVec(b)
+	t.ForwardSubst(y)
+	t.BackwardSubstT(y)
+	return y
+}
+
+// LogDet returns log det(L·Lᵀ) = 2·Σ log L_ii.
+func (t *TriPacked) LogDet() float64 {
+	s := 0.0
+	for i := 0; i < t.n; i++ {
+		s += math.Log(t.At(i, i))
+	}
+	return 2 * s
+}
+
+// AppendRow extends the factor of A to the factor of [[A, c], [cᵀ, d]]: the
+// new row is [wᵀ, √(d − w·w)] with L·w = c solved by forward substitution.
+// Cost is O(n²) against the O(n³) of refactoring. Strict like Cholesky: a
+// non-positive pivot returns ErrNotPositiveDefinite and leaves t unchanged.
+func (t *TriPacked) AppendRow(col []float64, diag float64) error {
+	_, err := t.appendRows(rowMatrix(col), cornerMatrix(diag), 0, false, 1)
+	return err
+}
+
+// AppendRowJitter is AppendRow retrying a failed pivot with an escalating
+// jitter added to the new diagonal entry only (the already-factored leading
+// block is untouched). initial ≤ 0 selects the default 1e-10; like
+// CholeskyJitter the scale is relative to the diagonal magnitude. It returns
+// the jitter actually added (0 on the first-try path).
+func (t *TriPacked) AppendRowJitter(col []float64, diag, initial float64) (float64, error) {
+	return t.appendRows(rowMatrix(col), cornerMatrix(diag), initial, true, 1)
+}
+
+// AppendRows is the blocked, jitter-aware k-row extension: given the factor
+// of A, it appends the factor rows of [[A, Bᵀ], [B, C]] where cols holds B
+// (k×n, row j = covariances of new point j against the existing n) and
+// corner holds C (k×k, lower triangle read). The panel solves against the
+// existing factor are distributed over workers goroutines — rows are
+// mutually independent there, so the result is bitwise identical for every
+// worker count, and the whole operation is bitwise identical to k successive
+// AppendRowJitter calls. Failed pivots escalate per-row jitter exactly like
+// AppendRowJitter; the maximum jitter added is returned. On error t is left
+// unchanged.
+func (t *TriPacked) AppendRows(cols, corner *Matrix, initial float64, workers int) (float64, error) {
+	return t.appendRows(cols, corner, initial, true, workers)
+}
+
+func rowMatrix(col []float64) *Matrix {
+	return &Matrix{Rows: 1, Cols: len(col), Data: col}
+}
+
+func cornerMatrix(diag float64) *Matrix {
+	return &Matrix{Rows: 1, Cols: 1, Data: []float64{diag}}
+}
+
+func (t *TriPacked) appendRows(cols, corner *Matrix, initial float64, jitterOK bool, workers int) (float64, error) {
+	k := cols.Rows
+	if corner.Rows != k || corner.Cols != k {
+		return 0, errors.New("la: AppendRows corner shape mismatch")
+	}
+	n0 := t.n
+	if cols.Cols != n0 {
+		return 0, errors.New("la: AppendRows cols width mismatch")
+	}
+	if k == 0 {
+		return 0, nil
+	}
+	if initial <= 0 {
+		initial = 1e-10
+	}
+	oldLen := len(t.data)
+	newLen := (n0 + k) * (n0 + k + 1) / 2
+	for len(t.data) < newLen {
+		t.data = append(t.data, 0)
+	}
+	t.data = t.data[:newLen]
+	t.n = n0 + k
+	// Panel: forward-substitute each new row against the existing factor.
+	// Row j only reads rows < n0 and writes its own segment, so the rows are
+	// independent and the parallel schedule cannot change any bit.
+	parallelBlocks(0, k, workers, func(j int) {
+		w := t.Row(n0 + j)
+		copy(w[:n0], cols.Row(j))
+		for i := 0; i < n0; i++ {
+			li := t.Row(i)
+			w[i] = (w[i] - Dot(li[:i], w[:i])) / li[i]
+		}
+	})
+	// Corner: finish each new row against the earlier new rows, then take its
+	// pivot — the plain Cholesky recurrence continued past n0, in row order.
+	maxJitter := 0.0
+	for j := 0; j < k; j++ {
+		w := t.Row(n0 + j)
+		for j2 := 0; j2 < j; j2++ {
+			w2 := t.Row(n0 + j2)
+			i := n0 + j2
+			w[i] = (corner.At(j, j2) - Dot(w[:i], w2[:i])) / w2[i]
+		}
+		d := corner.At(j, j)
+		s := d - Dot(w[:n0+j], w[:n0+j])
+		if s <= 0 || math.IsNaN(s) {
+			ok := false
+			if jitterOK && !math.IsNaN(s) {
+				scale := math.Abs(d)
+				if scale < 1 {
+					scale = 1
+				}
+				jitter := initial * scale
+				for attempt := 0; attempt < 12; attempt++ {
+					if s+jitter > 0 {
+						s += jitter
+						if jitter > maxJitter {
+							maxJitter = jitter
+						}
+						ok = true
+						break
+					}
+					jitter *= 10
+				}
+			}
+			if !ok {
+				t.data = t.data[:oldLen]
+				t.n = n0
+				return maxJitter, ErrNotPositiveDefinite
+			}
+		}
+		w[n0+j] = math.Sqrt(s)
+	}
+	return maxJitter, nil
+}
+
+// CholAppendRow is the dense one-shot convenience: given the factor l of an
+// n×n matrix A, it returns the (n+1)×(n+1) factor of [[A, col], [colᵀ, diag]]
+// as a new dense matrix. Strict like Cholesky (no jitter). Callers extending
+// repeatedly should hold a TriPacked instead to avoid the dense copies.
+func CholAppendRow(l *Matrix, col []float64, diag float64) (*Matrix, error) {
+	t := PackChol(l)
+	if err := t.AppendRow(col, diag); err != nil {
+		return nil, err
+	}
+	return t.Dense(), nil
+}

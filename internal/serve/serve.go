@@ -288,7 +288,7 @@ func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
 // studyStatus is the GET /studies/{study} response.
 type studyStatus struct {
 	Name         string `json:"name"`
-	Surrogate    string `json:"surrogate"` // model backend the engine resolved ("lcm", "gp-indep", "rf")
+	Surrogate    string `json:"surrogate"` // model backend the engine resolved (see surrogate.Kinds)
 	Phase        string `json:"phase"`     // engine phase: "init", "search", "mo" or "done"
 	Tasks        int    `json:"tasks"`
 	Observations int    `json:"observations"` // committed evaluations across tasks

@@ -63,10 +63,18 @@ type OptionsSpec struct {
 	MOGenerations int     `json:"mo_generations,omitempty"`
 	MOPopSize     int     `json:"mo_pop_size,omitempty"`
 	Seed          int64   `json:"seed"`
-	// Surrogate selects the model backend ("lcm", "gp-indep" or "rf"; empty
-	// means "lcm"). Validated at study creation — an unknown kind is rejected
+	// Surrogate selects the model backend; surrogate.Kinds() is the
+	// authoritative list and empty means the default ("lcm"). Validated at
+	// study creation — an unknown kind is rejected (naming the known kinds)
 	// before the spec is persisted.
 	Surrogate string `json:"surrogate,omitempty"`
+	// RefitEvery relearns surrogate hyperparameters only every k-th
+	// generation, extending the model incrementally in between (0 or 1 =
+	// refit every generation). See core.Options.RefitEvery.
+	RefitEvery int `json:"refit_every,omitempty"`
+	// Inducing bounds the "sgp" backend's per-task inducing set (0 = the
+	// backend default, 128).
+	Inducing int `json:"inducing,omitempty"`
 }
 
 // StudySpec is everything needed to (re)build a study's engine: the spaces,
@@ -171,6 +179,8 @@ func (s *StudySpec) build() (*core.Problem, [][]float64, core.Options, error) {
 		MOPopSize:     o.MOPopSize,
 		Seed:          o.Seed,
 		Surrogate:     o.Surrogate,
+		RefitEvery:    o.RefitEvery,
+		Inducing:      o.Inducing,
 	}
 	return prob, s.Tasks, opts, nil
 }

@@ -93,6 +93,26 @@ func (g *gpIndepModel) PredictInto(ws Workspace, task int, x []float64) (mean, v
 	return g.models[task].PredictInto(ws.(*gpIndepWorkspace).wss[task], 0, x)
 }
 
+// Append extends each per-task GP with its slice of the delta (task i's new
+// samples go to sub-model i at its local task index 0). A mid-loop failure
+// leaves earlier tasks extended — the caller's refit fallback re-derives
+// every model from data, so partial application is harmless.
+func (g *gpIndepModel) Append(data *Dataset, workers int) error {
+	if len(data.X) != len(g.models) || len(data.Y) != len(g.models) {
+		return fmt.Errorf("surrogate: gp-indep append got %d tasks, model has %d", len(data.X), len(g.models))
+	}
+	for i, m := range g.models {
+		if len(data.X[i]) == 0 {
+			continue
+		}
+		tasks := make([]int, len(data.X[i]))
+		if err := m.AppendObservations(data.X[i], tasks, data.Y[i], workers); err != nil {
+			return fmt.Errorf("surrogate: appending task %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
 func (g *gpIndepModel) MarshalBinary() ([]byte, error) {
 	blobs := make([]json.RawMessage, len(g.models))
 	for i, m := range g.models {

@@ -1,6 +1,10 @@
 package surrogate
 
-import "repro/internal/gp"
+import (
+	"fmt"
+
+	"repro/internal/gp"
+)
 
 // lcmFitter is the default backend: the paper's multitask LCM, delegating to
 // internal/gp. The translation to gp.FitOptions is field-for-field so a fit
@@ -64,6 +68,33 @@ func (l *lcmModel) PredictInto(ws Workspace, task int, x []float64) (mean, varia
 }
 
 func (l *lcmModel) MarshalBinary() ([]byte, error) { return l.m.MarshalBinary() }
+
+// Append extends the wrapped LCM with the delta's samples via the rank-k
+// packed Cholesky extension (gp.AppendObservations): hyperparameters frozen,
+// O(k·n²) instead of a refit's O(n³).
+func (l *lcmModel) Append(data *Dataset, workers int) error {
+	if len(data.X) != l.m.NumTasks || len(data.Y) != len(data.X) {
+		return fmt.Errorf("surrogate: lcm append got %d tasks, model has %d", len(data.X), l.m.NumTasks)
+	}
+	total := 0
+	for i := range data.X {
+		total += len(data.X[i])
+	}
+	if total == 0 {
+		return nil
+	}
+	xs := make([][]float64, 0, total)
+	tasks := make([]int, 0, total)
+	ys := make([]float64, 0, total)
+	for i := range data.X {
+		for j := range data.X[i] {
+			xs = append(xs, data.X[i][j])
+			tasks = append(tasks, i)
+			ys = append(ys, data.Y[i][j])
+		}
+	}
+	return l.m.AppendObservations(xs, tasks, ys, workers)
+}
 
 // LCM exposes the wrapped model for consumers that need LCM-specific state
 // (the facade's coefficient reporting, LOO diagnostics). It returns nil for

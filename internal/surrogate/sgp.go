@@ -1,0 +1,473 @@
+package surrogate
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/gp"
+	"repro/internal/la"
+	"repro/internal/mpx"
+)
+
+// defaultInducing is the per-task inducing-set size when FitOptions.Inducing
+// is unset. 128 keeps fitting O(n·m²) ≈ linear in history length while the
+// m×m factors stay small enough that prediction costs microseconds.
+const defaultInducing = 128
+
+// noiseFloor bounds 1/σ² in the DTC algebra when the optimizer drives the
+// noise hyperparameter toward zero.
+const noiseFloor = 1e-12
+
+// sgpFitter fits one sparse GP per task: a deterministic-training-conditional
+// (DTC / projected-process) inducing-point approximation in the style of the
+// subset-of-data scaling tricks of Snoek et al. Hyperparameters are learned
+// by the exact single-task fit on the inducing subset itself (m points, so
+// the O(m³) cost is independent of n), then the DTC posterior is built from
+// all n points in O(n·m²):
+//
+//	Q_m = K_mm + σ⁻²·K_mn·K_nm
+//	μ(x)  = k*ᵀ·σ⁻²·Q_m⁻¹·K_mn·y
+//	σ²(x) = k** − k*ᵀK_mm⁻¹k* + k*ᵀQ_m⁻¹k* + σ²
+//
+// The inducing subset is chosen by a seeded shuffle of the task's samples
+// (sorted back into canonical order), so the whole fit is seed-deterministic
+// and — like every backend — bitwise independent of FitOptions.Workers: the
+// K_mn and Q_m builds distribute rows whose summation order is fixed.
+type sgpFitter struct{}
+
+func (sgpFitter) Kind() string { return KindSGP }
+
+func (sgpFitter) Fit(data *Dataset, opts FitOptions) (Model, error) {
+	if err := data.Validate(); err != nil {
+		return nil, err
+	}
+	inducing := opts.Inducing
+	if inducing <= 0 {
+		inducing = defaultInducing
+	}
+	warm := warmTaskSnapshots(opts.WarmStart, KindSGP)
+	tasks := make([]*taskSGP, data.NumTasks())
+	for i := range tasks {
+		var warmTheta []float64
+		if i < len(warm) {
+			warmTheta = warmTaskTheta(warm[i])
+		}
+		ts, err := fitTaskSGP(data.X[i], data.Y[i], data.Dim, inducing, opts, perTaskSeed(opts.Seed, i), warmTheta)
+		if err != nil {
+			return nil, fmt.Errorf("surrogate: fitting task %d sparse GP: %w", i, err)
+		}
+		tasks[i] = ts
+	}
+	return &sgpModel{tasks: tasks}, nil
+}
+
+// taskSGP is one task's fitted sparse GP. qmat and r are the sufficient
+// statistics the posterior is derived from; Append folds new points into
+// them and re-derives the m×m factor and alpha, never touching the O(n)
+// training set again.
+type taskSGP struct {
+	dim    int
+	n      int       // samples absorbed (bookkeeping only)
+	m      int       // inducing-set size
+	z      []float64 // m×dim inducing coordinates, row-major
+	ls     []float64 // lengthscales (dim)
+	signal float64   // kernel variance a² + b from the subset fit
+	noise  float64   // noise variance d from the subset fit
+	theta  []float64 // full subset-fit hyperparameter vector (warm starts)
+	yMean  float64   // output standardization frozen from the subset fit
+	yStd   float64
+	prior  float64 // signal + noise
+
+	qmat  *la.Matrix    // Q_m (no jitter), grown by Append
+	r     []float64     // K_mn·y accumulator
+	lm    *la.TriPacked // chol(K_mm + jitter·I)
+	lq    *la.TriPacked // chol(Q_m + jitter·I)
+	alpha []float64     // σ⁻²·Q_m⁻¹·r
+}
+
+func (ts *taskSGP) invNoise() float64 {
+	ns := ts.noise
+	if ns < noiseFloor {
+		ns = noiseFloor
+	}
+	return 1 / ns
+}
+
+// kern evaluates the task kernel signal·exp(−½·Σ_d ((x_d−z_d)/l_d)²)
+// against inducing point i, allocation-free.
+func (ts *taskSGP) kern(i int, x []float64) float64 {
+	zi := ts.z[i*ts.dim : (i+1)*ts.dim]
+	s := 0.0
+	for d, ld := range ts.ls {
+		diff := (x[d] - zi[d]) / ld
+		s += diff * diff
+	}
+	return ts.signal * math.Exp(-0.5*s)
+}
+
+func fitTaskSGP(x [][]float64, y []float64, dim, inducing int, opts FitOptions, seed int64, warmTheta []float64) (*taskSGP, error) {
+	n := len(x)
+	m := inducing
+	if m > n {
+		m = n
+	}
+	// Deterministic seed-derived inducing selection: shuffle, take m, restore
+	// canonical (ascending) order so downstream summations have a fixed order.
+	rng := rand.New(rand.NewSource(seed))
+	idx := rng.Perm(n)[:m]
+	sort.Ints(idx)
+
+	subX := make([][]float64, m)
+	subY := make([]float64, m)
+	for j, id := range idx {
+		subX[j] = x[id]
+		subY[j] = y[id]
+	}
+	sub := &gp.Dataset{Dim: dim, X: [][][]float64{subX}, Y: [][]float64{subY}}
+	fit, err := gp.FitLCM(sub, gp.FitOptions{
+		NumStarts: opts.NumStarts,
+		Workers:   opts.Workers,
+		MaxIter:   opts.MaxIter,
+		Seed:      seed,
+		Init:      warmTheta,
+	})
+	if err != nil {
+		return nil, err
+	}
+	yMean, yStd := fit.OutputStats()
+	ts := &taskSGP{
+		dim:    dim,
+		n:      n,
+		m:      m,
+		z:      make([]float64, m*dim),
+		ls:     append([]float64(nil), fit.Ls[0]...),
+		signal: fit.A[0][0]*fit.A[0][0] + fit.B[0][0],
+		noise:  fit.D[0],
+		theta:  fit.Hyperparameters(),
+		yMean:  yMean,
+		yStd:   yStd,
+	}
+	ts.prior = ts.signal + ts.noise
+	for j, id := range idx {
+		copy(ts.z[j*dim:(j+1)*dim], x[id])
+	}
+
+	// All outputs, standardized with the subset-fit statistics (the
+	// hyperparameters were learned in that space).
+	yn := make([]float64, n)
+	for j, v := range y {
+		yn[j] = (v - yMean) / yStd
+	}
+
+	// K_mn rows are independent: parallel build, fixed per-entry arithmetic.
+	kmn := la.NewMatrix(m, n)
+	workers := opts.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	mpx.ParallelFor(m, workers, func(i int) {
+		row := kmn.Row(i)
+		for j := 0; j < n; j++ {
+			row[j] = ts.kern(i, x[j])
+		}
+	})
+	inv := ts.invNoise()
+	kmm := ts.buildKmm()
+	qmat := la.NewMatrix(m, m)
+	mpx.ParallelFor(m, workers, func(i int) {
+		ri := kmn.Row(i)
+		for j := 0; j <= i; j++ {
+			v := kmm.At(i, j) + inv*la.Dot(ri, kmn.Row(j))
+			qmat.Set(i, j, v)
+			qmat.Set(j, i, v)
+		}
+	})
+	ts.qmat = qmat
+	ts.r = make([]float64, m)
+	for i := 0; i < m; i++ {
+		ts.r[i] = la.Dot(kmn.Row(i), yn)
+	}
+	if err := ts.refactor(kmm); err != nil {
+		return nil, err
+	}
+	return ts, nil
+}
+
+// buildKmm assembles the inducing-set Gram matrix from the stored
+// coordinates; rebuilt identically on reload, so factors round-trip bitwise.
+func (ts *taskSGP) buildKmm() *la.Matrix {
+	kmm := la.NewMatrix(ts.m, ts.m)
+	for i := 0; i < ts.m; i++ {
+		for j := 0; j <= i; j++ {
+			v := ts.kern(i, ts.z[j*ts.dim:(j+1)*ts.dim])
+			kmm.Set(i, j, v)
+			kmm.Set(j, i, v)
+		}
+	}
+	return kmm
+}
+
+// refactor derives the posterior factors and weights from (qmat, r): the two
+// jittered Cholesky factorizations and alpha. kmm may be nil to rebuild it.
+func (ts *taskSGP) refactor(kmm *la.Matrix) error {
+	if kmm == nil {
+		kmm = ts.buildKmm()
+	}
+	lm, _, err := la.CholeskyJitter(kmm, 0)
+	if err != nil {
+		return fmt.Errorf("surrogate: sgp inducing Gram factorization: %w", err)
+	}
+	lq, _, err := la.CholeskyJitter(ts.qmat, 0)
+	if err != nil {
+		return fmt.Errorf("surrogate: sgp Q factorization: %w", err)
+	}
+	ts.lm = la.PackChol(lm)
+	ts.lq = la.PackChol(lq)
+	alpha := ts.lq.SolveVec(ts.r)
+	la.ScaleVec(ts.invNoise(), alpha)
+	ts.alpha = alpha
+	return nil
+}
+
+// sgpModel holds δ independent per-task sparse GPs.
+type sgpModel struct {
+	tasks []*taskSGP
+}
+
+func (s *sgpModel) Kind() string  { return KindSGP }
+func (s *sgpModel) NumTasks() int { return len(s.tasks) }
+
+// sgpWorkspace carries per-task O(m) scratch so a searcher goroutine can
+// probe any task allocation-free.
+type sgpWorkspace struct {
+	kstar [][]float64
+	v     [][]float64
+}
+
+func (s *sgpModel) NewWorkspace() Workspace {
+	ws := &sgpWorkspace{
+		kstar: make([][]float64, len(s.tasks)),
+		v:     make([][]float64, len(s.tasks)),
+	}
+	for i, ts := range s.tasks {
+		ws.kstar[i] = make([]float64, ts.m)
+		ws.v[i] = make([]float64, ts.m)
+	}
+	return ws
+}
+
+func (s *sgpModel) PredictInto(ws Workspace, task int, x []float64) (mean, variance float64) {
+	ts := s.tasks[task]
+	w := ws.(*sgpWorkspace)
+	kstar, v := w.kstar[task], w.v[task]
+	for i := 0; i < ts.m; i++ {
+		kstar[i] = ts.kern(i, x)
+	}
+	mu := la.Dot(kstar, ts.alpha)
+	copy(v, kstar)
+	ts.lm.ForwardSubst(v)
+	vr := ts.prior - la.Dot(v, v)
+	copy(v, kstar)
+	ts.lq.ForwardSubst(v)
+	vr += la.Dot(v, v)
+	if vr < 0 {
+		vr = 0
+	}
+	mean = mu*ts.yStd + ts.yMean
+	variance = vr * ts.yStd * ts.yStd
+	return mean, variance
+}
+
+// Append folds new observations into the DTC sufficient statistics: for each
+// new point, Q_m += σ⁻²·k·kᵀ and r += y·k with k the point's inducing-set
+// cross-covariances, then one O(m³) refactorization re-derives the
+// posterior. The inducing set and hyperparameters stay frozen at their
+// fitted values. Cost is O(k·m²) + O(m³), independent of history length.
+func (s *sgpModel) Append(data *Dataset, workers int) error {
+	_ = workers // O(m²) per point: nothing worth parallelizing
+	if len(data.X) != len(s.tasks) || len(data.Y) != len(s.tasks) {
+		return fmt.Errorf("surrogate: sgp append got %d tasks, model has %d", len(data.X), len(s.tasks))
+	}
+	for i, ts := range s.tasks {
+		if err := validateDelta(data, i, ts.dim); err != nil {
+			return err
+		}
+	}
+	kvec := make([]float64, 0)
+	for i, ts := range s.tasks {
+		if len(data.X[i]) == 0 {
+			continue
+		}
+		if cap(kvec) < ts.m {
+			kvec = make([]float64, ts.m)
+		}
+		kvec = kvec[:ts.m]
+		inv := ts.invNoise()
+		q := ts.qmat
+		for j, x := range data.X[i] {
+			for p := 0; p < ts.m; p++ {
+				kvec[p] = ts.kern(p, x)
+			}
+			yn := (data.Y[i][j] - ts.yMean) / ts.yStd
+			for p := 0; p < ts.m; p++ {
+				kp := inv * kvec[p]
+				row := q.Row(p)
+				for p2 := 0; p2 <= p; p2++ {
+					row[p2] += kp * kvec[p2]
+				}
+				ts.r[p] += yn * kvec[p]
+			}
+			ts.n++
+		}
+		// Mirror the strict-lower updates into the upper triangle.
+		for p := 0; p < ts.m; p++ {
+			for p2 := 0; p2 < p; p2++ {
+				q.Set(p2, p, q.At(p, p2))
+			}
+		}
+		if err := ts.refactor(nil); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// validateDelta checks one task's slice of an Append delta: matching sample
+// and output counts, the fitted dimensionality, finite values. Empty tasks
+// are fine — Append deltas carry only what's new.
+func validateDelta(data *Dataset, task, dim int) error {
+	if len(data.X[task]) != len(data.Y[task]) {
+		return fmt.Errorf("surrogate: append task %d: %d samples vs %d outputs", task, len(data.X[task]), len(data.Y[task]))
+	}
+	for j, x := range data.X[task] {
+		if len(x) != dim {
+			return fmt.Errorf("surrogate: append task %d sample %d has dim %d, want %d", task, j, len(x), dim)
+		}
+		for _, v := range x {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("surrogate: append task %d sample %d has non-finite coordinate", task, j)
+			}
+		}
+		if math.IsNaN(data.Y[task][j]) || math.IsInf(data.Y[task][j], 0) {
+			return fmt.Errorf("surrogate: append task %d sample %d has non-finite output", task, j)
+		}
+	}
+	return nil
+}
+
+// sgpTaskSnapshot is the wire form of one task's sparse GP. Everything the
+// posterior needs is either carried ((Q_m, r) sufficient statistics, packed
+// lower triangle for Q_m) or rebuilt deterministically from carried state
+// (K_mm from the inducing coordinates), so a reloaded model predicts bitwise
+// identically — and can keep absorbing appends.
+type sgpTaskSnapshot struct {
+	Dim    int         `json:"dim"`
+	N      int         `json:"n"`
+	M      int         `json:"m"`
+	Z      gp.NFVec    `json:"z"`
+	Ls     gp.NFVec    `json:"ls"`
+	Signal gp.NFScalar `json:"signal"`
+	Noise  gp.NFScalar `json:"noise"`
+	Theta  gp.NFVec    `json:"theta"`
+	YMean  gp.NFScalar `json:"y_mean"`
+	YStd   gp.NFScalar `json:"y_std"`
+	Q      gp.NFVec    `json:"q_packed"`
+	R      gp.NFVec    `json:"r"`
+}
+
+func (s *sgpModel) MarshalBinary() ([]byte, error) {
+	blobs := make([]json.RawMessage, len(s.tasks))
+	for i, ts := range s.tasks {
+		packed := make([]float64, 0, ts.m*(ts.m+1)/2)
+		for p := 0; p < ts.m; p++ {
+			packed = append(packed, ts.qmat.Row(p)[:p+1]...)
+		}
+		blob, err := json.Marshal(sgpTaskSnapshot{
+			Dim: ts.dim, N: ts.n, M: ts.m,
+			Z: ts.z, Ls: ts.ls,
+			Signal: gp.NFScalar(ts.signal), Noise: gp.NFScalar(ts.noise),
+			Theta: ts.theta,
+			YMean: gp.NFScalar(ts.yMean), YStd: gp.NFScalar(ts.yStd),
+			Q: packed, R: ts.r,
+		})
+		if err != nil {
+			return nil, err
+		}
+		blobs[i] = blob
+	}
+	return encodeMultiSnapshot(KindSGP, blobs)
+}
+
+func (sgpFitter) UnmarshalBinary(data []byte) (Model, error) {
+	blobs, err := decodeMultiSnapshot(data, KindSGP)
+	if err != nil {
+		return nil, err
+	}
+	tasks := make([]*taskSGP, len(blobs))
+	for i, blob := range blobs {
+		ts, err := decodeTaskSGP(blob)
+		if err != nil {
+			return nil, fmt.Errorf("surrogate: task %d snapshot: %w", i, err)
+		}
+		tasks[i] = ts
+	}
+	return &sgpModel{tasks: tasks}, nil
+}
+
+func decodeTaskSGP(blob []byte) (*taskSGP, error) {
+	var snap sgpTaskSnapshot
+	if err := json.Unmarshal(blob, &snap); err != nil {
+		return nil, err
+	}
+	if snap.Dim <= 0 || snap.M <= 0 {
+		return nil, errors.New("surrogate: sgp snapshot missing dimensions")
+	}
+	if len(snap.Z) != snap.M*snap.Dim || len(snap.Ls) != snap.Dim ||
+		len(snap.Q) != snap.M*(snap.M+1)/2 || len(snap.R) != snap.M {
+		return nil, errors.New("surrogate: sgp snapshot shape mismatch")
+	}
+	ts := &taskSGP{
+		dim:    snap.Dim,
+		n:      snap.N,
+		m:      snap.M,
+		z:      snap.Z,
+		ls:     snap.Ls,
+		signal: float64(snap.Signal),
+		noise:  float64(snap.Noise),
+		theta:  snap.Theta,
+		yMean:  float64(snap.YMean),
+		yStd:   float64(snap.YStd),
+	}
+	if ts.yStd == 0 { // zero std never leaves a fit; guard against hand-built snapshots
+		ts.yStd = 1
+	}
+	ts.prior = ts.signal + ts.noise
+	ts.qmat = la.NewMatrix(ts.m, ts.m)
+	at := 0
+	for p := 0; p < ts.m; p++ {
+		for p2 := 0; p2 <= p; p2++ {
+			ts.qmat.Set(p, p2, snap.Q[at])
+			ts.qmat.Set(p2, p, snap.Q[at])
+			at++
+		}
+	}
+	ts.r = snap.R
+	if err := ts.refactor(nil); err != nil {
+		return nil, err
+	}
+	return ts, nil
+}
+
+// warmTaskTheta extracts the subset-fit hyperparameter vector from one
+// task's warm-start blob; nil on any mismatch (best-effort transfer).
+func warmTaskTheta(blob []byte) []float64 {
+	var snap sgpTaskSnapshot
+	if err := json.Unmarshal(blob, &snap); err != nil {
+		return nil
+	}
+	return snap.Theta
+}

@@ -1,0 +1,268 @@
+package surrogate
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/la"
+)
+
+// TestSGPInducingSubset: with Inducing below the sample count the model must
+// hold exactly that many inducing points per task and still predict sanely.
+func TestSGPInducingSubset(t *testing.T) {
+	data := testDataset(19, 2, 30)
+	f, err := New(KindSGP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := f.Fit(data, FitOptions{NumStarts: 1, MaxIter: 10, Seed: 3, Inducing: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm := m.(*sgpModel)
+	for i, ts := range sm.tasks {
+		if ts.m != 8 {
+			t.Fatalf("task %d: %d inducing points, want 8", i, ts.m)
+		}
+		if ts.n != 30 {
+			t.Fatalf("task %d: n = %d, want 30", i, ts.n)
+		}
+	}
+	ws := m.NewWorkspace()
+	mu, v := m.PredictInto(ws, 0, []float64{0.5, 0.5})
+	if math.IsNaN(mu) || math.IsNaN(v) || v < 0 {
+		t.Fatalf("degenerate posterior (%v, %v)", mu, v)
+	}
+	// Inducing ≥ n clamps to n.
+	big, err := f.Fit(data, FitOptions{NumStarts: 1, MaxIter: 5, Seed: 3, Inducing: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts := big.(*sgpModel).tasks[0]; ts.m != 30 {
+		t.Fatalf("Inducing=500 on 30 samples gave m = %d, want 30", ts.m)
+	}
+}
+
+// TestSGPAppendMatchesBatchStatistics: fit on a prefix, append the rest, and
+// check the DTC sufficient statistics (Q_m, r) and the posterior against an
+// oracle built from all points in one pass at the same frozen inducing set
+// and hyperparameters.
+func TestSGPAppendMatchesBatchStatistics(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	full := testDataset(21, 2, 24)
+	n0 := 16
+	head := &Dataset{Dim: 2, X: make([][][]float64, 2), Y: make([][]float64, 2)}
+	tail := &Dataset{Dim: 2, X: make([][][]float64, 2), Y: make([][]float64, 2)}
+	for i := 0; i < 2; i++ {
+		head.X[i], head.Y[i] = full.X[i][:n0], full.Y[i][:n0]
+		tail.X[i], tail.Y[i] = full.X[i][n0:], full.Y[i][n0:]
+	}
+	f, _ := New(KindSGP)
+	m, err := f.Fit(head, FitOptions{NumStarts: 1, MaxIter: 10, Seed: 7, Inducing: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm := m.(*sgpModel)
+	inc, ok := Model(sm).(Incremental)
+	if !ok {
+		t.Fatal("sgp model does not implement Incremental")
+	}
+	if err := inc.Append(tail, 2); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	for task, ts := range sm.tasks {
+		if ts.n != 24 {
+			t.Fatalf("task %d: n = %d, want 24", task, ts.n)
+		}
+		inv := ts.invNoise()
+		kmm := ts.buildKmm()
+		kmn := la.NewMatrix(ts.m, 24)
+		yn := make([]float64, 24)
+		for j := 0; j < 24; j++ {
+			yn[j] = (full.Y[task][j] - ts.yMean) / ts.yStd
+			for i := 0; i < ts.m; i++ {
+				kmn.Set(i, j, ts.kern(i, full.X[task][j]))
+			}
+		}
+		for i := 0; i < ts.m; i++ {
+			wantR := la.Dot(kmn.Row(i), yn)
+			if math.Abs(ts.r[i]-wantR) > 1e-9*math.Max(1, math.Abs(wantR)) {
+				t.Fatalf("task %d: r[%d] = %v, oracle %v", task, i, ts.r[i], wantR)
+			}
+			for j := 0; j <= i; j++ {
+				want := kmm.At(i, j) + inv*la.Dot(kmn.Row(i), kmn.Row(j))
+				if math.Abs(ts.qmat.At(i, j)-want) > 1e-9*math.Max(1, math.Abs(want)) {
+					t.Fatalf("task %d: Q[%d][%d] = %v, oracle %v", task, i, j, ts.qmat.At(i, j), want)
+				}
+			}
+		}
+	}
+	// Appending point-by-point must reproduce the one-call append bitwise.
+	m2, err := f.Fit(head, FitOptions{NumStarts: 1, MaxIter: 10, Seed: 7, Inducing: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc2 := m2.(Incremental)
+	for j := range tail.X[0] {
+		delta := &Dataset{Dim: 2, X: make([][][]float64, 2), Y: make([][]float64, 2)}
+		for i := 0; i < 2; i++ {
+			delta.X[i] = tail.X[i][j : j+1]
+			delta.Y[i] = tail.Y[i][j : j+1]
+		}
+		if err := inc2.Append(delta, 1); err != nil {
+			t.Fatalf("point append %d: %v", j, err)
+		}
+	}
+	wsA, wsB := m.NewWorkspace(), m2.NewWorkspace()
+	for trial := 0; trial < 20; trial++ {
+		x := []float64{rng.Float64(), rng.Float64()}
+		task := trial % 2
+		muA, vA := m.PredictInto(wsA, task, x)
+		muB, vB := m2.PredictInto(wsB, task, x)
+		if math.Float64bits(muA) != math.Float64bits(muB) || math.Float64bits(vA) != math.Float64bits(vB) {
+			t.Fatalf("trial %d: batch vs point-by-point append diverged", trial)
+		}
+	}
+}
+
+// TestSGPSnapshotSurvivesAppend: marshal after append, reload, and keep
+// appending — the reload must predict bitwise identically and accept more
+// points (snapshots carry the sufficient statistics).
+func TestSGPSnapshotSurvivesAppend(t *testing.T) {
+	full := testDataset(25, 2, 20)
+	head := &Dataset{Dim: 2, X: [][][]float64{full.X[0][:14], full.X[1][:14]}, Y: [][]float64{full.Y[0][:14], full.Y[1][:14]}}
+	mid := &Dataset{Dim: 2, X: [][][]float64{full.X[0][14:17], full.X[1][14:17]}, Y: [][]float64{full.Y[0][14:17], full.Y[1][14:17]}}
+	tail := &Dataset{Dim: 2, X: [][][]float64{full.X[0][17:], full.X[1][17:]}, Y: [][]float64{full.Y[0][17:], full.Y[1][17:]}}
+	f, _ := New(KindSGP)
+	m, err := f.Fit(head, FitOptions{NumStarts: 1, MaxIter: 10, Seed: 5, Inducing: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.(Incremental).Append(mid, 1); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := m.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := f.UnmarshalBinary(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.(Incremental).Append(tail, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := back.(Incremental).Append(tail, 1); err != nil {
+		t.Fatalf("append after reload: %v", err)
+	}
+	wsA, wsB := m.NewWorkspace(), back.NewWorkspace()
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 20; trial++ {
+		x := []float64{rng.Float64(), rng.Float64()}
+		task := trial % 2
+		muA, vA := m.PredictInto(wsA, task, x)
+		muB, vB := back.PredictInto(wsB, task, x)
+		if math.Float64bits(muA) != math.Float64bits(muB) || math.Float64bits(vA) != math.Float64bits(vB) {
+			t.Fatalf("trial %d: reload+append diverged from live model", trial)
+		}
+	}
+}
+
+// TestSGPWarmStart: sgp warm starts ride the multiSnapshot container like
+// gp-indep's, seeding the subset fit's first optimizer start.
+func TestSGPWarmStart(t *testing.T) {
+	data := testDataset(27, 2, 15)
+	f, _ := New(KindSGP)
+	prev, err := f.Fit(data, FitOptions{NumStarts: 2, MaxIter: 40, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := prev.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	short := FitOptions{NumStarts: 1, MaxIter: 2, Seed: 13}
+	cold, err := f.Fit(data, short)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmOpts := short
+	warmOpts.WarmStart = blob
+	warm, err := f.Fit(data, warmOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm2, err := f.Fit(data, warmOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := []float64{0.3, 0.6}
+	muC, _ := cold.PredictInto(cold.NewWorkspace(), 0, x)
+	muW, _ := warm.PredictInto(warm.NewWorkspace(), 0, x)
+	muW2, _ := warm2.PredictInto(warm2.NewWorkspace(), 0, x)
+	if math.Float64bits(muW) != math.Float64bits(muW2) {
+		t.Fatal("warm-started sgp fit not deterministic")
+	}
+	if math.Float64bits(muW) == math.Float64bits(muC) {
+		t.Fatal("sgp warm start had no effect")
+	}
+	badOpts := short
+	badOpts.WarmStart = []byte("not a snapshot")
+	fallback, err := f.Fit(data, badOpts)
+	if err != nil {
+		t.Fatalf("corrupt warm start failed the fit: %v", err)
+	}
+	muF, _ := fallback.PredictInto(fallback.NewWorkspace(), 0, x)
+	if math.Float64bits(muF) != math.Float64bits(muC) {
+		t.Fatal("corrupt sgp warm start did not degrade to cold fit")
+	}
+}
+
+// TestIncrementalCapability pins which backends extend in place: the GP
+// family does, forests don't.
+func TestIncrementalCapability(t *testing.T) {
+	data := testDataset(29, 2, 10)
+	delta := &Dataset{Dim: 2, X: [][][]float64{{{0.5, 0.5}}, {}}, Y: [][]float64{{1.5}, {}}}
+	for _, kind := range []string{KindLCM, KindGPIndep, KindSGP} {
+		f, _ := New(kind)
+		m, err := f.Fit(data, FitOptions{NumStarts: 1, MaxIter: 8, Seed: 2})
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		inc, ok := m.(Incremental)
+		if !ok {
+			t.Fatalf("%s: model does not implement Incremental", kind)
+		}
+		ws := m.NewWorkspace()
+		muBefore, _ := m.PredictInto(ws, 0, []float64{0.5, 0.5})
+		// Empty delta: no-op.
+		empty := &Dataset{Dim: 2, X: [][][]float64{{}, {}}, Y: [][]float64{{}, {}}}
+		if err := inc.Append(empty, 1); err != nil {
+			t.Fatalf("%s: empty append: %v", kind, err)
+		}
+		if err := inc.Append(delta, 1); err != nil {
+			t.Fatalf("%s: append: %v", kind, err)
+		}
+		muAfter, v := m.PredictInto(ws, 0, []float64{0.5, 0.5})
+		if math.IsNaN(muAfter) || math.IsNaN(v) || v < 0 {
+			t.Fatalf("%s: degenerate posterior after append", kind)
+		}
+		if math.Float64bits(muBefore) == math.Float64bits(muAfter) {
+			t.Fatalf("%s: append had no effect on the posterior", kind)
+		}
+		// Task-count mismatch rejected.
+		bad := &Dataset{Dim: 2, X: [][][]float64{{}}, Y: [][]float64{{}}}
+		if err := inc.Append(bad, 1); err == nil {
+			t.Fatalf("%s: task-count mismatch accepted", kind)
+		}
+	}
+	rfF, _ := New(KindRF)
+	m, err := rfF.Fit(data, FitOptions{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m.(Incremental); ok {
+		t.Fatal("rf model unexpectedly implements Incremental")
+	}
+}

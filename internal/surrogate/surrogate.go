@@ -6,13 +6,17 @@
 // narrows them into the Fitter/Model pair so internal/core never names a
 // concrete model type again.
 //
-// Three backends ship:
+// Four backends ship (Kinds() is the authoritative list — CLI help and spec
+// validation derive from it, never restate it):
 //
 //   - "lcm" (default): the paper's Linear Coregionalization Model, sharing
 //     latent functions across tasks (Section 3.1). Wraps internal/gp
 //     unchanged, cache/parallel hot path included.
 //   - "gp-indep": one single-task GP per task, no cross-task sharing — the
 //     natural ablation baseline for measuring what multitask learning buys.
+//   - "sgp": per-task sparse GPs (deterministic inducing-point DTC
+//     approximation) — O(n·m²) fitting and O(m²) prediction, the backend for
+//     histories too large for the exact paths.
 //   - "rf": per-task random forests (the SuRF-style baseline of Section 5),
 //     strongest when parameters are categorical.
 //
@@ -55,6 +59,22 @@ type Model interface {
 	MarshalBinary() ([]byte, error)
 }
 
+// Incremental is the optional Model capability behind core.Options.RefitEvery:
+// absorb new observations into the fitted state without re-learning
+// hyperparameters (rank-1 factor extension for the GP backends, accumulator
+// updates for sparse GPs). Backends that cannot extend (forests) simply don't
+// implement it and the engine falls back to refitting.
+type Incremental interface {
+	// Append extends the model with data's samples. data holds ONLY the new
+	// samples per task (a task with nothing new has an empty X[i]); its task
+	// count and Dim must match the fitted model. workers bounds internal
+	// parallelism and never affects the resulting bits; appending a batch in
+	// one call or across several calls yields the same model. On error the
+	// model must be treated as stale — the caller refits from scratch (which
+	// is also the deterministic fallback the engine takes).
+	Append(data *Dataset, workers int) error
+}
+
 // FitOptions configures a surrogate fit. The zero value of every field means
 // "backend default". Fields without meaning for a backend are ignored (Q and
 // NumStarts do nothing for forests).
@@ -64,6 +84,7 @@ type FitOptions struct {
 	Workers   int   // fit parallelism; never affects the fitted model's bits
 	MaxIter   int   // optimizer iteration cap (GP backends)
 	Seed      int64 // RNG seed; same seed + same data → bitwise same model
+	Inducing  int   // inducing points per task (sgp only); default 128
 
 	// WarmStart, when non-empty, is a snapshot previously produced by this
 	// backend's MarshalBinary (typically from an earlier tuning session via
@@ -91,23 +112,45 @@ type Fitter interface {
 const (
 	KindLCM     = "lcm"
 	KindGPIndep = "gp-indep"
+	KindSGP     = "sgp"
 	KindRF      = "rf"
 )
 
+// registry is the single source of truth for backend selection: Kinds() and
+// New both walk it, and every external restatement of the kind list (CLI
+// -surrogate help, gptuned spec validation errors) is built from Kinds(), so
+// registering a backend here is the whole job.
+var registry = []struct {
+	kind   string
+	fitter Fitter
+}{
+	{KindLCM, lcmFitter{}},
+	{KindGPIndep, gpIndepFitter{}},
+	{KindSGP, sgpFitter{}},
+	{KindRF, rfFitter{}},
+}
+
 // Kinds lists the available backend names in preference order.
-func Kinds() []string { return []string{KindLCM, KindGPIndep, KindRF} }
+func Kinds() []string {
+	names := make([]string, len(registry))
+	for i, e := range registry {
+		names[i] = e.kind
+	}
+	return names
+}
 
 // New returns the Fitter for the named backend. The empty string selects the
-// default ("lcm"); unknown names are rejected with the valid set in the
-// error so flag/spec validation can surface it verbatim.
+// default (the registry's first entry, "lcm"); unknown names are rejected
+// with the valid set in the error so flag/spec validation can surface it
+// verbatim.
 func New(kind string) (Fitter, error) {
-	switch kind {
-	case "", KindLCM:
-		return lcmFitter{}, nil
-	case KindGPIndep:
-		return gpIndepFitter{}, nil
-	case KindRF:
-		return rfFitter{}, nil
+	if kind == "" {
+		return registry[0].fitter, nil
+	}
+	for _, e := range registry {
+		if e.kind == kind {
+			return e.fitter, nil
+		}
 	}
 	return nil, fmt.Errorf("surrogate: unknown kind %q (have %v)", kind, Kinds())
 }

@@ -25,7 +25,7 @@ func testDataset(seed int64, tasks, perTask int) *Dataset {
 
 func TestNewSelectsBackends(t *testing.T) {
 	for _, c := range []struct{ kind, want string }{
-		{"", KindLCM}, {KindLCM, KindLCM}, {KindGPIndep, KindGPIndep}, {KindRF, KindRF},
+		{"", KindLCM}, {KindLCM, KindLCM}, {KindGPIndep, KindGPIndep}, {KindSGP, KindSGP}, {KindRF, KindRF},
 	} {
 		f, err := New(c.kind)
 		if err != nil {
