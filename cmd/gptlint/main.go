@@ -1,16 +1,20 @@
 // Command gptlint enforces the repo's determinism and concurrency
-// invariants (DESIGN.md §7): no global math/rand, no wall-clock reads in
-// the numeric core, no map-range accumulation, no goroutines outside
-// internal/mpx, no float ==, no dropped errors. Built entirely on the
-// stdlib toolchain — go/parser, go/types, go/importer — per the repo's
-// stdlib-only rule.
+// invariants (DESIGN.md §7, §12): no global math/rand, no wall-clock reads
+// in the numeric core (directly or through any call chain), no map-range
+// accumulation, no goroutines outside internal/mpx, no float ==, no dropped
+// errors, no locks held across blocking operations, no inconsistent lock
+// orders, no join-free goroutines, and no allocations on //gptlint:hotpath
+// paths. Built entirely on the stdlib toolchain — go/parser, go/types,
+// go/importer — per the repo's stdlib-only rule.
 //
 // Usage:
 //
-//	gptlint [-json] [-C dir] [-numeric paths] [-goallow paths] [patterns...]
+//	gptlint [-json] [-github] [-graph] [-rules r1,r2] [-C dir]
+//	        [-numeric paths] [-goallow paths] [patterns...]
 //
 // Patterns default to ./... and are resolved against the enclosing module.
-// Exit status: 0 clean, 1 diagnostics reported, 2 load/type-check failure.
+// Exit status: 0 clean, 1 diagnostics reported, 2 load/type-check failure
+// (or an unknown rule name).
 package main
 
 import (
@@ -25,10 +29,20 @@ import (
 
 func main() {
 	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array")
+	github := flag.Bool("github", false, "emit GitHub Actions ::error annotations alongside plain diagnostics")
+	graph := flag.Bool("graph", false, "dump the interprocedural call graph with per-function effect summaries and exit")
+	rules := flag.String("rules", "", "comma-separated rule names to run (default: all; see -rules=list)")
 	chdir := flag.String("C", "", "resolve patterns against this directory's module instead of the cwd's")
 	numeric := flag.String("numeric", "", "comma-separated import paths treated as the deterministic numeric core (default: the repo's gp,la,core,opt,acq,sample,sparse)")
 	goallow := flag.String("goallow", "", "comma-separated import paths allowed to contain go statements (default: the repo's internal/mpx)")
 	flag.Parse()
+
+	if *rules == "list" {
+		for _, r := range lint.KnownRules() {
+			fmt.Println(r)
+		}
+		return
+	}
 
 	dir := *chdir
 	if dir == "" {
@@ -50,11 +64,31 @@ func main() {
 	if *goallow != "" {
 		cfg.GoroutineAllowed = splitList(*goallow)
 	}
+	if *rules != "" {
+		cfg.Rules = splitList(*rules)
+		known := make(map[string]bool)
+		for _, r := range lint.KnownRules() {
+			known[r] = true
+		}
+		for _, r := range cfg.Rules {
+			if !known[r] {
+				fatal(fmt.Errorf("unknown rule %q (run -rules=list for the catalog)", r))
+			}
+		}
+	}
 
 	pkgs, err := loader.Load(patterns)
 	if err != nil {
 		fatal(err)
 	}
+
+	if *graph {
+		for _, line := range lint.GraphDump(pkgs, cfg) {
+			fmt.Println(line)
+		}
+		return
+	}
+
 	diags := lint.Run(pkgs, cfg)
 
 	if *jsonOut {
@@ -69,6 +103,12 @@ func main() {
 	} else {
 		for _, d := range diags {
 			fmt.Println(d)
+			if *github {
+				// Workflow-command annotations surface each finding on the
+				// PR diff; the message must stay single-line.
+				fmt.Printf("::error file=%s,line=%d,col=%d,title=gptlint %s::%s\n",
+					d.File, d.Line, d.Col, d.Rule, strings.ReplaceAll(d.Msg, "\n", " "))
+			}
 		}
 		if len(diags) > 0 {
 			fmt.Fprintf(os.Stderr, "gptlint: %d problem(s) in %d package(s)\n", len(diags), len(pkgs))

@@ -64,6 +64,7 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	//gptlint:ignore goroutine-leak process-lifetime watcher; exits with the signal context and needs no join
 	go func() { //gptlint:ignore no-stray-goroutines shutdown watcher; joined via the errors it forces out of ListenAndServe
 		<-ctx.Done()
 		dctx, cancel := context.WithTimeout(context.Background(), *drainFor)

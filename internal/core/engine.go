@@ -151,7 +151,7 @@ func (e *Engine) Suggest(task int) (Suggestion, error) {
 	if task < -1 || task >= len(e.st.tasks) {
 		return Suggestion{}, fmt.Errorf("core: engine: task %d out of range (have %d tasks)", task, len(e.st.tasks))
 	}
-	if err := e.ensureBatch(); err != nil {
+	if err := e.ensureBatch(); err != nil { //gptlint:ignore lock-held-across-blocking batch generation (model fit behind the gate) is serialized under the engine mutex by design; see ROADMAP async pipelining
 		return Suggestion{}, err
 	}
 	if len(e.batch) == 0 {
@@ -180,7 +180,7 @@ func (e *Engine) Suggest(task int) (Suggestion, error) {
 func (e *Engine) SuggestAll() ([]Suggestion, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if err := e.ensureBatch(); err != nil {
+	if err := e.ensureBatch(); err != nil { //gptlint:ignore lock-held-across-blocking batch generation is serialized under the engine mutex by design; see ROADMAP async pipelining
 		return nil, err
 	}
 	var out []Suggestion
@@ -217,7 +217,7 @@ func (e *Engine) Observe(id int64, y []float64) error {
 	if e.st.p.Objective == nil {
 		e.st.evals.Add(1) // caller-evaluated; count it for the telemetry
 	}
-	return e.commitReady()
+	return e.commitReady() //gptlint:ignore lock-held-across-blocking prefix commits stream to the WAL inside the critical section so replay order always matches commit order
 }
 
 // Fail reports that evaluating a suggestion errored. The engine substitutes

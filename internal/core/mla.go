@@ -286,20 +286,28 @@ type featureScale struct {
 
 func (fs *featureScale) apply(raw []float64) []float64 {
 	out := make([]float64, len(raw))
+	fs.applyInto(out, raw)
+	return out
+}
+
+// applyInto scales raw into dst without allocating; dst must have len(raw).
+//
+//gptlint:hotpath
+func (fs *featureScale) applyInto(dst, raw []float64) {
 	for d, v := range raw {
 		if fs.logT[d] {
 			v = math.Log(v)
 		}
+		dst[d] = 0
 		if fs.hi[d] > fs.lo[d] {
-			out[d] = (v - fs.lo[d]) / (fs.hi[d] - fs.lo[d])
+			dst[d] = (v - fs.lo[d]) / (fs.hi[d] - fs.lo[d])
 		}
-		if out[d] < 0 {
-			out[d] = 0
-		} else if out[d] > 1 {
-			out[d] = 1
+		if dst[d] < 0 {
+			dst[d] = 0
+		} else if dst[d] > 1 {
+			dst[d] = 1
 		}
 	}
-	return out
 }
 
 // buildFeatureScale computes per-feature normalization over all current
@@ -344,12 +352,34 @@ func (st *state) buildFeatureScale() *featureScale {
 // modelPoint maps a native configuration to the (possibly enriched) LCM
 // input: normalized tuning parameters plus normalized model features.
 func (st *state) modelPoint(task int, xNative []float64, fs *featureScale) []float64 {
-	u := st.p.Tuning.Normalize(xNative)
+	out := make([]float64, st.modelDim(fs))
+	st.modelPointInto(out, task, xNative, fs)
+	return out
+}
+
+// modelDim returns the surrogate input dimension for the current
+// generation: the tuning dimension plus the feature count when a
+// performance model is in play.
+func (st *state) modelDim(fs *featureScale) int {
 	if fs == nil {
-		return u
+		return st.p.Tuning.Dim()
 	}
-	feat := fs.apply(st.p.Model.Eval(st.tasks[task], xNative, st.coeffs))
-	return append(u, feat...)
+	return st.p.Tuning.Dim() + len(fs.lo)
+}
+
+// modelPointInto fills dst with the surrogate input for xNative — the
+// normalized point plus, when fs is non-nil, the scaled performance-model
+// features. dst must have length modelDim(fs).
+//
+//gptlint:hotpath
+func (st *state) modelPointInto(dst []float64, task int, xNative []float64, fs *featureScale) {
+	dim := st.p.Tuning.Dim()
+	st.p.Tuning.NormalizeInto(dst[:dim], xNative)
+	if fs == nil {
+		return
+	}
+	raw := st.p.Model.Eval(st.tasks[task], xNative, st.coeffs)
+	fs.applyInto(dst[dim:], raw)
 }
 
 // logApplied reports whether objective s is modeled in log space this
@@ -509,7 +539,11 @@ func (st *state) searchBatch(i int, model surrogate.Model, tv func(float64) floa
 // searchOne maximizes the acquisition for task i with PSO, seeding the
 // swarm with the incumbent best configuration, damping near the avoid
 // points (batch spreading). It returns a native configuration, avoiding
-// exact duplicates of already-evaluated points.
+// exact duplicates of already-evaluated points. The hotpath contract is
+// about the per-candidate inner loop: per-search setup (rng, seeds, the
+// buffers themselves) allocates once and carries justified ignores.
+//
+//gptlint:hotpath
 func (st *state) searchOne(i int, model surrogate.Model, ws surrogate.Workspace, tv func(float64) float64, fs *featureScale, avoid [][]float64, salt int64) []float64 {
 	yBest := math.Inf(1)
 	bestIdx := 0
@@ -521,21 +555,29 @@ func (st *state) searchOne(i int, model surrogate.Model, ws surrogate.Workspace,
 	}
 	rng := rand.New(rand.NewSource(st.opts.Seed ^ hash2(7+i, st.minSamples()) ^ (salt << 17)))
 	const penaltyRadius = 0.15
-	neg := func(u []float64) float64 {
-		xNat := st.p.Tuning.Denormalize(u)
-		if !st.p.Tuning.Feasible(xNat) {
+	// Per-candidate buffers, hoisted so the acquisition closure is
+	// allocation-free over the thousands of points PSO and the random pool
+	// push through it.
+	dim := st.p.Tuning.Dim()
+	xNatBuf := make([]float64, dim)           //gptlint:ignore hotpath-alloc per-search buffer, allocated once and reused for every candidate
+	ptBuf := make([]float64, st.modelDim(fs)) //gptlint:ignore hotpath-alloc per-search buffer, allocated once and reused for every candidate
+	unBuf := make([]float64, dim)             //gptlint:ignore hotpath-alloc per-search buffer, allocated once and reused for every candidate
+	feasBuf := make(map[string]float64, dim)  //gptlint:ignore hotpath-alloc per-search scratch map for constraint checks
+	neg := func(u []float64) float64 {        //gptlint:ignore hotpath-alloc the acquisition closure is built once per search; its body is what stays allocation-free
+		st.p.Tuning.DenormalizeInto(xNatBuf, u)
+		if !st.p.Tuning.FeasibleInto(feasBuf, xNatBuf) {
 			return math.Inf(1)
 		}
-		pt := st.modelPoint(i, xNat, fs)
-		mu, v := model.PredictInto(ws, i, pt)
+		st.modelPointInto(ptBuf, i, xNatBuf, fs)
+		mu, v := model.PredictInto(ws, i, ptBuf)
 		score := st.acquisition(mu, v, yBest)
 		if len(avoid) > 0 && score < 0 {
-			un := st.p.Tuning.Normalize(xNat)
+			st.p.Tuning.NormalizeInto(unBuf, xNatBuf)
 			damp := 1.0
 			for _, a := range avoid {
 				d := 0.0
 				for dIdx := range a {
-					diff := un[dIdx] - a[dIdx]
+					diff := unBuf[dIdx] - a[dIdx]
 					d += diff * diff
 				}
 				d = math.Sqrt(d) / penaltyRadius
@@ -553,29 +595,31 @@ func (st *state) searchOne(i int, model surrogate.Model, ws surrogate.Workspace,
 	// across tasks — appending in place would race on (and bleed one
 	// task's incumbent into) the shared array whenever it has spare
 	// capacity.
-	seeds := make([][]float64, len(params.Seeds), len(params.Seeds)+1)
+	seeds := make([][]float64, len(params.Seeds), len(params.Seeds)+1) //gptlint:ignore hotpath-alloc once-per-search seed clone, required for race safety
 	copy(seeds, params.Seeds)
-	params.Seeds = append(seeds, st.p.Tuning.Normalize(st.X[i][bestIdx]))
-	res := opt.PSO(neg, st.p.Tuning.Dim(), params, rng)
+	params.Seeds = append(seeds, st.p.Tuning.Normalize(st.X[i][bestIdx])) //gptlint:ignore hotpath-alloc once-per-search incumbent seed
+	res := opt.PSO(neg, st.p.Tuning.Dim(), params, rng)                   //gptlint:ignore hotpath-alloc PSO allocates its swarm once per search; the objective it drives is allocation-free
 	// Hybrid search: PSO explores the continuous relaxation well, but
 	// categorical/integer dimensions make the acquisition piecewise
 	// constant; a scored pool of random feasible candidates covers the
 	// discrete combinations PSO's rounding can miss. Keep whichever wins.
 	bestU := res.X
 	bestScore := res.F
-	for c := 0; c < 8*st.p.Tuning.Dim()+32; c++ {
-		u := make([]float64, st.p.Tuning.Dim())
-		for d := range u {
-			u[d] = rng.Float64()
+	// One candidate buffer for the whole pool, swapped with bestU on
+	// improvement instead of allocating per candidate.
+	cand := make([]float64, dim) //gptlint:ignore hotpath-alloc per-search buffer, swapped with bestU instead of allocating per candidate
+	for c := 0; c < 8*dim+32; c++ {
+		for d := range cand {
+			cand[d] = rng.Float64()
 		}
-		if s := neg(u); s < bestScore {
+		if s := neg(cand); s < bestScore {
 			bestScore = s
-			bestU = u
+			bestU, cand = cand, bestU
 		}
 	}
-	xNat := st.p.Tuning.Denormalize(bestU)
-	if !st.p.Tuning.Feasible(xNat) || st.isDuplicate(i, xNat) || containsConfig(avoidNative(st, avoid), xNat) {
-		if pts, err := sample.FeasibleUniform(st.p.Tuning, 1, rng); err == nil {
+	xNat := st.p.Tuning.Denormalize(bestU)                                                                                   //gptlint:ignore hotpath-alloc the winner escapes to the caller; one allocation per search
+	if !st.p.Tuning.FeasibleInto(feasBuf, xNat) || st.isDuplicate(i, xNat) || containsConfig(avoidNative(st, avoid), xNat) { //gptlint:ignore hotpath-alloc once-per-search duplicate check against the avoid list
+		if pts, err := sample.FeasibleUniform(st.p.Tuning, 1, rng); err == nil { //gptlint:ignore hotpath-alloc rare fallback when the search collapses onto an evaluated point
 			return pts[0]
 		}
 	}

@@ -75,6 +75,8 @@ func (m *LCM) NewPredictWorkspace() *PredictWorkspace {
 // variance (Eqs. 5–6) of task's objective at normalized point x, computed
 // through ws's reusable buffers and the tables built at fit time. The PSO
 // search loop calls this thousands of times per search phase.
+//
+//gptlint:hotpath
 func (m *LCM) PredictInto(ws *PredictWorkspace, task int, x []float64) (mean, variance float64) {
 	if m.predCoef == nil {
 		panic("gp: PredictInto on unfitted model")
@@ -82,8 +84,8 @@ func (m *LCM) PredictInto(ws *PredictWorkspace, task int, x []float64) (mean, va
 	if n := len(m.flatX); len(ws.kstar) != n {
 		// The model grew via AppendObservations since ws was created; resize
 		// once and stay allocation-free until the next append.
-		ws.kstar = make([]float64, n)
-		ws.v = make([]float64, n)
+		ws.kstar = make([]float64, n) //gptlint:ignore hotpath-alloc one-time workspace resize after AppendObservations grew the model
+		ws.v = make([]float64, n)     //gptlint:ignore hotpath-alloc one-time workspace resize after AppendObservations grew the model
 	}
 	m.kstarInto(ws, task, x)
 	mu := la.Dot(ws.kstar, m.alpha)
@@ -100,6 +102,8 @@ func (m *LCM) PredictInto(ws *PredictWorkspace, task int, x []float64) (mean, va
 
 // kstarInto fills ws.kstar with the cross-covariance vector k* for (task, x)
 // and returns it.
+//
+//gptlint:hotpath
 func (m *LCM) kstarInto(ws *PredictWorkspace, task int, x []float64) []float64 {
 	n := len(m.flatX)
 	dim := m.Dim
@@ -133,6 +137,8 @@ func (m *LCM) kstarInto(ws *PredictWorkspace, task int, x []float64) []float64 {
 // PredictBatch predicts every point of xs for one task, writing posterior
 // means and variances into the caller's slices (len(xs) each). In steady
 // state it performs zero heap allocations: all scratch lives in ws.
+//
+//gptlint:hotpath
 func (m *LCM) PredictBatch(task int, xs [][]float64, means, variances []float64, ws *PredictWorkspace) {
 	if len(means) != len(xs) || len(variances) != len(xs) {
 		panic("gp: PredictBatch output length mismatch")

@@ -59,13 +59,13 @@ func (w *file) Write(p []byte) (int, error) {
 	}
 	if int64(len(p)) <= w.in.remaining {
 		w.in.remaining -= int64(len(p))
-		return w.f.Write(p)
+		return w.f.Write(p) //gptlint:ignore lock-held-across-blocking the injector mutex deliberately serializes writes so the byte budget decrements atomically with the write it meters
 	}
 	w.in.tripped = true
 	n := int(w.in.remaining)
 	w.in.remaining = 0
 	if n > 0 {
-		if m, err := w.f.Write(p[:n]); err != nil {
+		if m, err := w.f.Write(p[:n]); err != nil { //gptlint:ignore lock-held-across-blocking the short write that exhausts the budget must be atomic with tripping the injector
 			return m, err
 		}
 	}

@@ -63,6 +63,9 @@ func (r *Record) IsEval() bool { return r.Kind == "" }
 type DB struct {
 	mu      sync.Mutex
 	records []Record
+	// clock stamps records whose Stamp is zero; nil falls back to the wall
+	// clock. Injected so deterministic runs never call time.Now here.
+	clock func() time.Time
 }
 
 // New returns an empty database.
@@ -176,7 +179,11 @@ func (db *DB) Save(path string) error {
 // Append adds one record.
 func (db *DB) Append(r Record) {
 	if r.Stamp.IsZero() {
-		r.Stamp = time.Now().UTC()
+		clk := db.clock
+		if clk == nil {
+			clk = time.Now
+		}
+		r.Stamp = clk().UTC()
 	}
 	db.mu.Lock()
 	db.records = append(db.records, r)

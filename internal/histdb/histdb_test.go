@@ -5,6 +5,7 @@ import (
 	"path/filepath"
 	"sync"
 	"testing"
+	"time"
 )
 
 func TestAppendQueryBest(t *testing.T) {
@@ -168,4 +169,16 @@ func TestConcurrentAppend(t *testing.T) {
 
 func writeFile(path, content string) error {
 	return os.WriteFile(path, []byte(content), 0o644)
+}
+
+// TestDBAppendStampsWithoutClock pins the zero-value DB's stamp fallback:
+// Append never calls time.Now directly (the clock is a value seam), but a
+// zero-stamp record must still come out stamped.
+func TestDBAppendStampsWithoutClock(t *testing.T) {
+	db := New()
+	before := time.Now().Add(-time.Second)
+	db.Append(Record{Problem: "p", Outputs: []float64{1}})
+	if got := db.Records()[0].Stamp; got.IsZero() || got.Before(before) {
+		t.Fatalf("stamp = %v, want a recent wall-clock time", got)
+	}
 }

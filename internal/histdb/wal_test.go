@@ -300,3 +300,23 @@ func TestWALClockStampsRecords(t *testing.T) {
 		t.Fatalf("stamp = %v, want %v", got, fixed)
 	}
 }
+
+// TestWALNilClockDefaultsToWallClock pins the clock seam: a nil
+// WALOptions.Clock is defaulted once at OpenWAL, so zero-stamp records are
+// still stamped even though Append itself never reads time.Now.
+func TestWALNilClockDefaultsToWallClock(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "hist.json")
+	w, err := OpenWAL(base, WALOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	before := time.Now().Add(-time.Second)
+	if err := w.Append(Record{Problem: "p", Outputs: []float64{1}}); err != nil {
+		t.Fatal(err)
+	}
+	got := w.DB().Records()[0].Stamp
+	if got.IsZero() || got.Before(before) {
+		t.Fatalf("nil-clock stamp = %v, want a recent wall-clock time", got)
+	}
+}

@@ -409,5 +409,5 @@ func parallelBlocks(lo, hi, nworkers int, fn func(int)) {
 	if p := runtime.GOMAXPROCS(0); nworkers > p {
 		nworkers = p
 	}
-	mpx.ParallelFor(count, nworkers, func(i int) { fn(lo + i) })
+	mpx.ParallelFor(count, nworkers, func(i int) { fn(lo + i) }) //gptlint:ignore hotpath-alloc one adapter closure per parallel region; the fan-out is the parallelism seam
 }

@@ -146,6 +146,8 @@ func (t *TriPacked) AppendRowJitter(col []float64, diag, initial float64) (float
 // AppendRowJitter calls. Failed pivots escalate per-row jitter exactly like
 // AppendRowJitter; the maximum jitter added is returned. On error t is left
 // unchanged.
+//
+//gptlint:hotpath
 func (t *TriPacked) AppendRows(cols, corner *Matrix, initial float64, workers int) (float64, error) {
 	return t.appendRows(cols, corner, initial, true, workers)
 }
@@ -176,14 +178,14 @@ func (t *TriPacked) appendRows(cols, corner *Matrix, initial float64, jitterOK b
 	oldLen := len(t.data)
 	newLen := (n0 + k) * (n0 + k + 1) / 2
 	for len(t.data) < newLen {
-		t.data = append(t.data, 0)
+		t.data = append(t.data, 0) //gptlint:ignore hotpath-alloc growing the packed factor storage is the operation itself; amortized by append's doubling
 	}
 	t.data = t.data[:newLen]
 	t.n = n0 + k
 	// Panel: forward-substitute each new row against the existing factor.
 	// Row j only reads rows < n0 and writes its own segment, so the rows are
 	// independent and the parallel schedule cannot change any bit.
-	parallelBlocks(0, k, workers, func(j int) {
+	parallelBlocks(0, k, workers, func(j int) { //gptlint:ignore hotpath-alloc one closure per panel append, not per row; the fan-out is the parallelism seam
 		w := t.Row(n0 + j)
 		copy(w[:n0], cols.Row(j))
 		for i := 0; i < n0; i++ {

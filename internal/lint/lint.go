@@ -18,6 +18,14 @@ const (
 	RuleFloatEq        = "float-eq"            // R5
 	RuleUncheckedError = "unchecked-error"     // R6
 
+	// Interprocedural rules, computed over the module-wide call graph
+	// (callgraph.go / dataflow.go).
+	RuleTransitiveWallclock = "transitive-wallclock"      // R7
+	RuleLockBlocking        = "lock-held-across-blocking" // R8
+	RuleLockOrder           = "lock-order"                // R9
+	RuleGoroutineLeak       = "goroutine-leak"            // R10
+	RuleHotpathAlloc        = "hotpath-alloc"             // R11
+
 	// Meta rules emitted by the ignore-contract checker itself.
 	RuleBadIgnore    = "bad-ignore"
 	RuleUnusedIgnore = "unused-ignore"
@@ -25,12 +33,28 @@ const (
 
 // knownRules is the set of rule names an ignore comment may name.
 var knownRules = map[string]bool{
-	RuleGlobalRand:     true,
-	RuleWallclock:      true,
-	RuleMapRange:       true,
-	RuleStrayGoroutine: true,
-	RuleFloatEq:        true,
-	RuleUncheckedError: true,
+	RuleGlobalRand:          true,
+	RuleWallclock:           true,
+	RuleMapRange:            true,
+	RuleStrayGoroutine:      true,
+	RuleFloatEq:             true,
+	RuleUncheckedError:      true,
+	RuleTransitiveWallclock: true,
+	RuleLockBlocking:        true,
+	RuleLockOrder:           true,
+	RuleGoroutineLeak:       true,
+	RuleHotpathAlloc:        true,
+}
+
+// KnownRules returns every rule name, sorted — the authoritative list for
+// cmd/gptlint -rules validation and usage text.
+func KnownRules() []string {
+	out := make([]string, 0, len(knownRules))
+	for r := range knownRules {
+		out = append(out, r)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // Diagnostic is one reported violation.
@@ -49,18 +73,34 @@ func (d Diagnostic) String() string {
 // Config scopes the rules. R1 (no-global-rand) applies to every analyzed
 // package; R4 (no-stray-goroutines) to every package not in GoroutineAllowed;
 // R2/R3/R5/R6 only to the NumericPackages — the deterministic numeric core
-// whose outputs must be bitwise reproducible.
+// whose outputs must be bitwise reproducible. Of the interprocedural rules,
+// transitive-wallclock applies to the NumericPackages (reported at the edge
+// where a call chain leaves the numeric core); lock-held-across-blocking,
+// lock-order, and goroutine-leak apply everywhere; hotpath-alloc applies to
+// functions marked //gptlint:hotpath wherever they are.
 type Config struct {
 	// NumericPackages are the import paths where the determinism rules
-	// (no-wallclock, no-map-range, float-eq, unchecked-error) apply.
+	// (no-wallclock, no-map-range, float-eq, unchecked-error,
+	// transitive-wallclock) apply.
 	NumericPackages []string
 	// GoroutineAllowed are the import paths permitted to contain go
 	// statements (the mpx worker-pool substrate).
 	GoroutineAllowed []string
+	// Rules, when non-empty, restricts the run to the named rules.
+	// bad-ignore is always enforced; unused-ignore is only enforced on
+	// full runs (an ignore for a disabled rule legitimately suppresses
+	// nothing).
+	Rules []string
 }
 
 func (c *Config) isNumeric(path string) bool { return containsString(c.NumericPackages, path) }
 func (c *Config) allowsGo(path string) bool  { return containsString(c.GoroutineAllowed, path) }
+
+// enabled reports whether diagnostics for rule should be emitted.
+func (c *Config) enabled(rule string) bool {
+	return len(c.Rules) == 0 || containsString(c.Rules, rule)
+}
+
 func containsString(xs []string, s string) bool {
 	for _, x := range xs {
 		if x == s {
@@ -127,67 +167,154 @@ func parseIgnores(fset *token.FileSet, file *ast.File) []*ignoreDirective {
 	return out
 }
 
-// Run applies every rule to every package and enforces the ignore contract:
-// a //gptlint:ignore <rule> <reason> comment on the same line as a
-// violation (or on the line directly above it) suppresses that diagnostic;
-// an ignore that suppresses nothing is itself reported (unused-ignore), as
-// is a malformed one (bad-ignore). Diagnostics come back sorted by
-// file/line/col.
-func Run(pkgs []*Package, cfg Config) []Diagnostic {
-	var diags []Diagnostic
-	for _, pkg := range pkgs {
-		diags = append(diags, runPackage(pkg, cfg)...)
-	}
-	sort.Slice(diags, func(i, j int) bool {
-		if diags[i].File != diags[j].File {
-			return diags[i].File < diags[j].File
-		}
-		if diags[i].Line != diags[j].Line {
-			return diags[i].Line < diags[j].Line
-		}
-		return diags[i].Col < diags[j].Col
-	})
-	return diags
+// ignoreIndex holds every directive in the analyzed packages, keyed by
+// file, so both the suppression pass and the call-graph collector (which
+// severs ignored sites from transitive summaries) share one used-tracking
+// view.
+type ignoreIndex struct {
+	byFile map[string][]*ignoreDirective // well-formed directives only
+	all    []*ignoreDirective            // every directive, in file order
 }
 
-func runPackage(pkg *Package, cfg Config) []Diagnostic {
-	var out []Diagnostic
-	for _, file := range pkg.Files {
-		raw := checkFile(pkg, file, cfg)
-		ignores := parseIgnores(pkg.Fset, file)
-		// Match raw diagnostics against ignores: same rule, same file,
-		// and the ignore sits on the diagnostic's line or the line above.
-		var kept []Diagnostic
-		for _, d := range raw {
-			suppressed := false
-			for _, ig := range ignores {
-				if ig.bad != "" || ig.rule != d.Rule {
-					continue
+func newIgnoreIndex(pkgs []*Package) *ignoreIndex {
+	ix := &ignoreIndex{byFile: make(map[string][]*ignoreDirective)}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, d := range parseIgnores(pkg.Fset, file) {
+				ix.all = append(ix.all, d)
+				if d.bad == "" {
+					ix.byFile[d.pos.Filename] = append(ix.byFile[d.pos.Filename], d)
 				}
-				if ig.pos.Line == d.Line || ig.pos.Line == d.Line-1 {
-					ig.used = true
-					suppressed = true
-				}
-			}
-			if !suppressed {
-				kept = append(kept, d)
 			}
 		}
-		out = append(out, kept...)
-		for _, ig := range ignores {
-			switch {
-			case ig.bad != "":
-				out = append(out, Diagnostic{
-					File: ig.pos.Filename, Line: ig.pos.Line, Col: ig.pos.Column,
-					Rule: RuleBadIgnore, Msg: ig.bad,
-				})
-			case !ig.used:
-				out = append(out, Diagnostic{
-					File: ig.pos.Filename, Line: ig.pos.Line, Col: ig.pos.Column,
-					Rule: RuleUnusedIgnore,
-					Msg:  fmt.Sprintf("gptlint:ignore %s suppresses nothing; delete it or move it onto the offending line", ig.rule),
-				})
+	}
+	return ix
+}
+
+// severs reports whether an ignore for any of the rules sits on pos's line
+// or the line above, marking every match used. The call-graph collector
+// uses this to drop ignored sites from transitive summaries: an ignore at
+// a source site (say a sanctioned time.Now) both suppresses the local
+// diagnostic and stops the taint from propagating to every caller.
+func (ix *ignoreIndex) severs(pos token.Position, rules ...string) bool {
+	hit := false
+	for _, d := range ix.byFile[pos.Filename] {
+		if d.pos.Line != pos.Line && d.pos.Line != pos.Line-1 {
+			continue
+		}
+		for _, r := range rules {
+			if d.rule == r {
+				d.used = true
+				hit = true
 			}
+		}
+	}
+	return hit
+}
+
+// suppress reports whether an ignore covers the diagnostic, marking it used.
+func (ix *ignoreIndex) suppress(d Diagnostic) bool {
+	hit := false
+	for _, ig := range ix.byFile[d.File] {
+		if ig.rule == d.Rule && (ig.pos.Line == d.Line || ig.pos.Line == d.Line-1) {
+			ig.used = true
+			hit = true
+		}
+	}
+	return hit
+}
+
+// Run applies every enabled rule to every package and enforces the ignore
+// contract: a //gptlint:ignore <rule> <reason> comment on the same line as
+// a violation (or on the line directly above it) suppresses that
+// diagnostic; an ignore that suppresses nothing is itself reported
+// (unused-ignore), as is a malformed one (bad-ignore). The syntactic rules
+// run per file; the interprocedural rules run over a call graph of the
+// whole package set, so transitive findings are only as complete as the
+// set of packages passed in — lint "./..." for whole-module guarantees.
+// Diagnostics come back sorted by file/line/col.
+func Run(pkgs []*Package, cfg Config) []Diagnostic {
+	ix := newIgnoreIndex(pkgs)
+	var raw []Diagnostic
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			raw = append(raw, checkFile(pkg, file, cfg)...)
+		}
+	}
+	raw = append(raw, runInterprocedural(pkgs, &cfg, ix)...)
+
+	var kept []Diagnostic
+	for _, d := range raw {
+		if !cfg.enabled(d.Rule) {
+			continue
+		}
+		if ix.suppress(d) {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	partial := len(cfg.Rules) > 0
+	for _, ig := range ix.all {
+		switch {
+		case ig.bad != "":
+			kept = append(kept, Diagnostic{
+				File: ig.pos.Filename, Line: ig.pos.Line, Col: ig.pos.Column,
+				Rule: RuleBadIgnore, Msg: ig.bad,
+			})
+		case !ig.used && !partial:
+			kept = append(kept, Diagnostic{
+				File: ig.pos.Filename, Line: ig.pos.Line, Col: ig.pos.Column,
+				Rule: RuleUnusedIgnore,
+				Msg:  fmt.Sprintf("gptlint:ignore %s suppresses nothing; delete it or move it onto the offending line", ig.rule),
+			})
+		}
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		if kept[i].File != kept[j].File {
+			return kept[i].File < kept[j].File
+		}
+		if kept[i].Line != kept[j].Line {
+			return kept[i].Line < kept[j].Line
+		}
+		if kept[i].Col != kept[j].Col {
+			return kept[i].Col < kept[j].Col
+		}
+		return kept[i].Rule < kept[j].Rule
+	})
+	return kept
+}
+
+// runInterprocedural builds the call graph and runs the transitive rules.
+func runInterprocedural(pkgs []*Package, cfg *Config, ix *ignoreIndex) []Diagnostic {
+	wantLockHeld := cfg.enabled(RuleLockBlocking)
+	wantLockOrder := cfg.enabled(RuleLockOrder)
+	need := cfg.enabled(RuleTransitiveWallclock) || cfg.enabled(RuleGoroutineLeak) ||
+		cfg.enabled(RuleHotpathAlloc) || wantLockHeld || wantLockOrder
+	if !need {
+		return nil
+	}
+	g := buildGraph(pkgs, cfg, ix)
+	g.propagate()
+	var out []Diagnostic
+	report := func(pos token.Position, rule, format string, args ...any) {
+		out = append(out, Diagnostic{
+			File: pos.Filename, Line: pos.Line, Col: pos.Column,
+			Rule: rule, Msg: fmt.Sprintf(format, args...),
+		})
+	}
+	if cfg.enabled(RuleTransitiveWallclock) {
+		g.transitiveWallclock(report)
+	}
+	if cfg.enabled(RuleHotpathAlloc) {
+		g.hotpathAlloc(report)
+	}
+	if cfg.enabled(RuleGoroutineLeak) {
+		g.goroutineLeaks(report)
+	}
+	if wantLockHeld || wantLockOrder {
+		g.lockDiscipline(report, wantLockHeld)
+		if wantLockOrder {
+			g.lockOrderDiags(report)
 		}
 	}
 	return out

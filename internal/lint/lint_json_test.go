@@ -1,0 +1,54 @@
+package lint
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"testing"
+)
+
+// TestDiagnosticsJSONRoundTrip pins the -json output contract: diagnostics
+// from a corpus run survive a marshal/unmarshal cycle field-for-field, and
+// the field names are the stable lowercase ones tooling depends on.
+func TestDiagnosticsJSONRoundTrip(t *testing.T) {
+	loader, err := NewLoader(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.Load([]string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run(pkgs, corpusConfig())
+	if len(diags) == 0 {
+		t.Fatal("corpus run produced no diagnostics to round-trip")
+	}
+
+	blob, err := json.Marshal(diags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back []Diagnostic
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(diags) {
+		t.Fatalf("round-trip changed count: %d -> %d", len(diags), len(back))
+	}
+	for i := range diags {
+		if diags[i] != back[i] {
+			t.Errorf("diagnostic %d changed in round-trip:\n  before %+v\n  after  %+v", i, diags[i], back[i])
+		}
+	}
+
+	// The wire field names are part of the contract (CI and editors parse
+	// them); catch accidental struct-tag drift.
+	var raw []map[string]any
+	if err := json.Unmarshal(blob, &raw); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"file", "line", "col", "rule", "msg"} {
+		if _, ok := raw[0][key]; !ok {
+			t.Errorf("JSON output missing field %q (got %v)", key, raw[0])
+		}
+	}
+}

@@ -19,8 +19,9 @@ func corpusConfig() Config {
 			"corpus/floateq",
 			"corpus/errdrop",
 			"corpus/ignores",
+			"corpus/transwc",
 		},
-		GoroutineAllowed: []string{"corpus/mpxok"},
+		GoroutineAllowed: []string{"corpus/mpxok", "corpus/goleak"},
 	}
 }
 
@@ -158,6 +159,47 @@ func TestDefaultConfig(t *testing.T) {
 	}
 	if !cfg.allowsGo("repro/internal/mpx") || cfg.allowsGo("repro/internal/gp") {
 		t.Error("goroutine allowlist must be exactly internal/mpx")
+	}
+}
+
+// TestRulesFilter runs the corpus with a restricted rule set and checks
+// that (a) only the named rules report, (b) disabling a rule silences its
+// corpus hits, and (c) partial runs never report unused-ignore (an ignore
+// for a disabled rule is not "unused", it is out of scope).
+func TestRulesFilter(t *testing.T) {
+	loader, err := NewLoader(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.Load([]string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := corpusConfig()
+	cfg.Rules = []string{RuleLockBlocking, RuleLockOrder}
+	diags := Run(pkgs, cfg)
+	if len(diags) == 0 {
+		t.Fatal("filtered run produced no diagnostics")
+	}
+	for _, d := range diags {
+		switch d.Rule {
+		case RuleLockBlocking, RuleLockOrder, RuleBadIgnore:
+		default:
+			t.Errorf("rule %s reported despite filter: %s", d.Rule, d)
+		}
+	}
+
+	// The full corpus has hotpath-alloc hits; with the rule filtered out
+	// they must vanish, and nothing may surface as unused-ignore instead.
+	cfg.Rules = []string{RuleWallclock}
+	for _, d := range Run(pkgs, cfg) {
+		if d.Rule == RuleHotpathAlloc {
+			t.Errorf("hotpath-alloc reported while disabled: %s", d)
+		}
+		if d.Rule == RuleUnusedIgnore {
+			t.Errorf("unused-ignore reported on a partial run: %s", d)
+		}
 	}
 }
 

@@ -1,0 +1,49 @@
+package lint
+
+import "testing"
+
+// loadModule loads the repo's own module (the parent of internal/lint).
+func loadModule(t testing.TB) (*Loader, []*Package) {
+	t.Helper()
+	loader, err := NewLoader("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.Load([]string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("loaded %d packages from the module, expected the full tree", len(pkgs))
+	}
+	return loader, pkgs
+}
+
+// TestSelfLint is the tree-is-clean gate: the analyzer run over its own
+// module, with every rule enabled, must report nothing. Any new finding is
+// either a real bug to fix or a design decision to justify with an ignore —
+// never something to silence by weakening the rule.
+func TestSelfLint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	loader, pkgs := loadModule(t)
+	diags := Run(pkgs, DefaultConfig(loader.Module))
+	for _, d := range diags {
+		t.Errorf("module not lint-clean: %s", d)
+	}
+}
+
+// BenchmarkLintModule measures a full analysis pass (per-file rules, call
+// graph, dataflow, lock discipline) over the already-loaded module — the
+// marginal cost CI pays on top of type checking.
+func BenchmarkLintModule(b *testing.B) {
+	loader, pkgs := loadModule(b)
+	cfg := DefaultConfig(loader.Module)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if diags := Run(pkgs, cfg); len(diags) != 0 {
+			b.Fatalf("module not lint-clean: %d findings", len(diags))
+		}
+	}
+}

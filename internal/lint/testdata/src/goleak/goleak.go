@@ -1,0 +1,56 @@
+// Package goleak exercises goroutine-leak: a spawned goroutine whose body
+// shows no join evidence (WaitGroup.Done, close, or a channel send the
+// parent can drain). The package sits in GoroutineAllowed so the stray-
+// goroutine rule stays out of the way and the leak rule is isolated.
+package goleak
+
+import "sync"
+
+// Leak spawns a goroutine nothing ever joins.
+func Leak(n int) {
+	go func() { // want "goroutine-leak: goroutine has no join path"
+		_ = n * 2
+	}()
+}
+
+// spin has no join evidence in its body.
+func spin() {}
+
+// LeakNamed spawns a named function with no join evidence.
+func LeakNamed() {
+	go spin() // want "goroutine-leak: goroutine has no join path"
+}
+
+// JoinWG joins through a WaitGroup.
+func JoinWG(n int) {
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func() {
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+// JoinClose signals completion by closing a channel the parent drains.
+func JoinClose() {
+	done := make(chan struct{})
+	go func() {
+		close(done)
+	}()
+	<-done
+}
+
+// JoinSend signals completion with a send.
+func JoinSend() int {
+	ch := make(chan int, 1)
+	go func() { ch <- 1 }()
+	return <-ch
+}
+
+// Ignored documents a deliberate fire-and-forget goroutine.
+func Ignored() {
+	//gptlint:ignore goroutine-leak corpus: process-lifetime watcher, bounded by exit
+	go func() {}()
+}

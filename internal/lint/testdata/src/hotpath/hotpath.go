@@ -1,0 +1,82 @@
+// Package hotpath exercises hotpath-alloc: a function marked
+// //gptlint:hotpath may not allocate — no make/new, no append that can
+// grow, no capturing closures — directly or through any call chain.
+package hotpath
+
+// alloc allocates a fresh slice; it is fine here (not a hot path), but
+// taints every hotpath caller.
+func alloc(n int) []float64 { return make([]float64, n) }
+
+// scale is allocation-free.
+func scale(xs []float64, f float64) {
+	for i := range xs {
+		xs[i] *= f
+	}
+}
+
+// severed allocates but severs the taint at the source with a justified
+// ignore, so hotpath callers stay clean.
+func severed(ws []float64, n int) []float64 {
+	if cap(ws) < n {
+		ws = make([]float64, n) //gptlint:ignore hotpath-alloc corpus: one-time workspace resize
+	}
+	return ws[:n]
+}
+
+// Direct allocates right in the hot path.
+//
+//gptlint:hotpath
+func Direct(n int) []float64 {
+	out := make([]float64, n) // want "hotpath-alloc: make allocates in hotpath function"
+	return out
+}
+
+// Transitive reaches an allocation through a helper; the witness names it.
+//
+//gptlint:hotpath
+func Transitive(n int) []float64 {
+	return alloc(n) // want "hotpath-alloc: call to hotpath.alloc allocates"
+}
+
+// Grow appends without provable capacity.
+//
+//gptlint:hotpath
+func Grow(xs []float64, v float64) []float64 {
+	return append(xs, v) // want "hotpath-alloc: append .may grow. allocates in hotpath function"
+}
+
+// Reuse overwrites in place — append(x[:0], ...) cannot grow past cap: clean.
+//
+//gptlint:hotpath
+func Reuse(xs []float64, v float64) []float64 {
+	return append(xs[:0], v)
+}
+
+// Clean calls only allocation-free helpers.
+//
+//gptlint:hotpath
+func Clean(xs []float64) {
+	scale(xs, 2)
+}
+
+// Severed calls the documented one-time resize; the source-site ignore
+// keeps this hot path clean.
+//
+//gptlint:hotpath
+func Severed(ws []float64, n int) []float64 {
+	return severed(ws, n)
+}
+
+// Closure builds a capturing closure in the hot path.
+//
+//gptlint:hotpath
+func Closure(k float64) func(float64) float64 {
+	return func(x float64) float64 { return x * k } // want "hotpath-alloc: closure capturing 1 variable"
+}
+
+// Ignored justifies its allocation inline.
+//
+//gptlint:hotpath
+func Ignored(n int) []int {
+	return make([]int, n) //gptlint:ignore hotpath-alloc corpus: cold-start slow path
+}

@@ -1,0 +1,62 @@
+// Package lockblock exercises lock-held-across-blocking: a mutex provably
+// held at a blocking operation — file I/O, fsync, a channel op — directly
+// or through a call whose callee blocks transitively.
+package lockblock
+
+import (
+	"os"
+	"sync"
+)
+
+// Store guards a file handle and a channel with one mutex.
+type Store struct {
+	mu sync.Mutex
+	f  *os.File
+	ch chan int
+}
+
+// BadSync fsyncs while holding the store mutex.
+func (s *Store) BadSync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.f.Sync() // want "lock-held-across-blocking: os.File.Sync while holding lockblock.Store.mu"
+}
+
+// BadSend sends on a channel while holding the mutex.
+func (s *Store) BadSend(v int) {
+	s.mu.Lock()
+	s.ch <- v // want "lock-held-across-blocking: channel send while holding lockblock.Store.mu"
+	s.mu.Unlock()
+}
+
+// BadRecv receives while holding the mutex.
+func (s *Store) BadRecv() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return <-s.ch // want "lock-held-across-blocking: channel receive while holding lockblock.Store.mu"
+}
+
+// flush hides the fsync one call away.
+func (s *Store) flush() error { return s.f.Sync() }
+
+// BadTransitive blocks through the helper with the lock held; the witness
+// chain names the path to the fsync.
+func (s *Store) BadTransitive() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.flush() // want "lock-held-across-blocking: call to lockblock..{1,2}Store..flush blocks"
+}
+
+// Clean releases before the fsync.
+func (s *Store) Clean() error {
+	s.mu.Lock()
+	s.mu.Unlock()
+	return s.f.Sync()
+}
+
+// Ignored fsyncs under the lock but documents why that is the design.
+func (s *Store) Ignored() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.f.Sync() //gptlint:ignore lock-held-across-blocking corpus: the handle is serialized by this mutex by design
+}

@@ -1,0 +1,30 @@
+// Package transwc exercises transitive-wallclock: a numeric-core function
+// reaching time.Now through a call chain into a non-numeric package is
+// reported at the edge where the chain leaves the numeric core.
+package transwc
+
+import "corpus/twchelper"
+
+// Bad reaches the clock one hop out of the numeric core.
+func Bad() int64 {
+	t := twchelper.Stamp() // want "transitive-wallclock: call to twchelper.Stamp reaches the wall clock"
+	return t.UnixNano()
+}
+
+// BadDeep reaches it through two hops; the witness names the chain.
+func BadDeep() int64 {
+	t := twchelper.Deep() // want "transitive-wallclock: call to twchelper.Deep reaches the wall clock"
+	return t.UnixNano()
+}
+
+// Clean calls a clock-free helper.
+func Clean() int { return twchelper.Pure() }
+
+// CleanSevered calls a helper whose clock read is severed at the source.
+func CleanSevered() int64 { return twchelper.Sanctioned().UnixNano() }
+
+// Ignored justifies the frontier edge itself.
+func Ignored() int64 {
+	//gptlint:ignore transitive-wallclock corpus: frontier edge justified at the call site
+	return twchelper.Stamp().UnixNano()
+}

@@ -1,0 +1,23 @@
+// Package twchelper is the non-numeric helper side of the
+// transitive-wallclock corpus: call chains out of corpus/transwc land here
+// and reach the wall clock. No diagnostics are reported in this package —
+// the rule reports at the frontier edge in the numeric caller.
+package twchelper
+
+import "time"
+
+// Stamp reads the wall clock directly.
+func Stamp() time.Time { return time.Now() }
+
+// Deep reaches the clock through one more hop.
+func Deep() time.Time { return Stamp() }
+
+// Pure never touches the clock.
+func Pure() int { return 42 }
+
+// Sanctioned reads the clock but severs the taint at the source: the
+// ignore both suppresses any local diagnostic and removes this read from
+// every caller's transitive summary.
+func Sanctioned() time.Time {
+	return time.Now() //gptlint:ignore transitive-wallclock corpus: telemetry-only timestamp, severed at the source
+}

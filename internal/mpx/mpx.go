@@ -186,7 +186,7 @@ func ParallelFor(n, workers int, fn func(i int)) {
 		}
 		return
 	}
-	idx := make(chan int, n)
+	idx := make(chan int, n) //gptlint:ignore hotpath-alloc the work queue is the price of fanning out; hot paths pay it once per parallel region, never per item
 	for i := 0; i < n; i++ {
 		idx <- i
 	}

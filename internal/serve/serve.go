@@ -45,6 +45,11 @@ type Server struct {
 
 	mu      sync.Mutex
 	studies map[string]*study
+	// pending reserves study names whose create is in flight: the spec
+	// write and WAL open happen outside the lock, and the reservation is
+	// what keeps a concurrent duplicate create from racing past the
+	// exists check in the meantime.
+	pending map[string]bool
 	closed  bool
 }
 
@@ -69,7 +74,7 @@ func NewServer(cfg Config) (*Server, error) {
 	if err := os.MkdirAll(cfg.DataDir, 0o755); err != nil {
 		return nil, err
 	}
-	s := &Server{cfg: cfg, gate: mpx.NewGate(cfg.ModelSlots), studies: make(map[string]*study)}
+	s := &Server{cfg: cfg, gate: mpx.NewGate(cfg.ModelSlots), studies: make(map[string]*study), pending: make(map[string]bool)}
 	if err := s.resumeAll(); err != nil {
 		s.Close()
 		return nil, err
@@ -158,9 +163,13 @@ func (s *Server) lookup(name string) (*study, bool) {
 // Close flushes and closes every study's WAL. In-flight HTTP handlers should
 // be drained first (http.Server.Shutdown) so no commit races the close.
 func (s *Server) Close() error {
+	// Snapshot under the lock, fsync+close outside it: once closed is set,
+	// nothing inserts into studies (handleCreate re-checks closed before
+	// its insert), so the snapshot is complete and the WAL closes — which
+	// block on file I/O — run without holding the server mutex.
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.closed {
+		s.mu.Unlock()
 		return nil
 	}
 	s.closed = true
@@ -169,9 +178,14 @@ func (s *Server) Close() error {
 		names = append(names, name)
 	}
 	sort.Strings(names)
-	var first error
+	cps := make([]*core.Checkpointer, 0, len(names))
 	for _, name := range names {
-		if err := s.studies[name].cp.Close(); err != nil && first == nil {
+		cps = append(cps, s.studies[name].cp)
+	}
+	s.mu.Unlock()
+	var first error
+	for _, cp := range cps {
+		if err := cp.Close(); err != nil && first == nil {
 			first = err
 		}
 	}
@@ -243,16 +257,29 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	// Reserve the name under the lock, do the durable spec write and WAL
+	// open outside it, then insert-or-roll-back. The reservation keeps a
+	// concurrent duplicate create from passing the exists check while this
+	// one is mid-I/O; distinct names proceed in parallel.
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.closed {
+		s.mu.Unlock()
 		writeError(w, http.StatusServiceUnavailable, errors.New("serve: server is shutting down"))
 		return
 	}
-	if _, exists := s.studies[spec.Name]; exists {
+	if _, exists := s.studies[spec.Name]; exists || s.pending[spec.Name] {
+		s.mu.Unlock()
 		writeError(w, http.StatusConflict, fmt.Errorf("serve: study %s already exists", spec.Name))
 		return
 	}
+	s.pending[spec.Name] = true
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.pending, spec.Name)
+		s.mu.Unlock()
+	}()
+
 	// Persist the spec before opening the study: after a crash the spec on
 	// disk, not the client, is what rebuilds the engine the WAL replays.
 	data, err := json.MarshalIndent(&spec, "", " ")
@@ -270,7 +297,19 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
+
+	s.mu.Lock()
+	if s.closed {
+		// Close ran while the study was being opened; its snapshot cannot
+		// contain this study, so unwind rather than leak an open WAL.
+		s.mu.Unlock()
+		st.cp.Close()
+		os.Remove(s.specPath(spec.Name))
+		writeError(w, http.StatusServiceUnavailable, errors.New("serve: server is shutting down"))
+		return
+	}
 	s.studies[spec.Name] = st
+	s.mu.Unlock()
 	writeJSON(w, http.StatusCreated, map[string]any{"name": spec.Name, "tasks": len(spec.Tasks)})
 }
 

@@ -7,6 +7,8 @@ import (
 	"math"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"sync"
 	"testing"
 
 	"repro/internal/core"
@@ -554,5 +556,91 @@ func TestServeSpecRoundTrip(t *testing.T) {
 	}
 	if _, _, _, err := back.build(); err != nil {
 		t.Fatalf("round-tripped spec no longer builds: %v", err)
+	}
+}
+
+// TestConcurrentDuplicateCreate races N identical creates: the name
+// reservation must let exactly one through (201) and reject the rest (409),
+// without ever holding the server mutex across the spec fsync or WAL open.
+func TestConcurrentDuplicateCreate(t *testing.T) {
+	_, c := newTestServer(t)
+	const racers = 8
+	codes := make(chan int, racers)
+	var wg sync.WaitGroup
+	wg.Add(racers)
+	for r := 0; r < racers; r++ {
+		go func() {
+			defer wg.Done()
+			codes <- c.post("/studies", testSpec("dup", 4, 1), nil)
+		}()
+	}
+	wg.Wait()
+	close(codes)
+	var created, conflicted int
+	for code := range codes {
+		switch code {
+		case http.StatusCreated:
+			created++
+		case http.StatusConflict:
+			conflicted++
+		default:
+			t.Fatalf("unexpected status %d", code)
+		}
+	}
+	if created != 1 || conflicted != racers-1 {
+		t.Fatalf("got %d created / %d conflicted, want 1 / %d", created, conflicted, racers-1)
+	}
+	// The winner is fully usable.
+	var out struct {
+		Studies []string `json:"studies"`
+	}
+	if code := c.get("/studies", &out); code != http.StatusOK || len(out.Studies) != 1 {
+		t.Fatalf("list after race: code %d, studies %v", code, out.Studies)
+	}
+}
+
+// TestConcurrentDistinctCreates verifies distinct names do not serialize
+// against each other's I/O and all succeed.
+func TestConcurrentDistinctCreates(t *testing.T) {
+	_, c := newTestServer(t)
+	const n = 6
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	wg.Add(n)
+	for r := 0; r < n; r++ {
+		go func(r int) {
+			defer wg.Done()
+			name := fmt.Sprintf("study-%d", r)
+			if code := c.post("/studies", testSpec(name, 4, int64(r+1)), nil); code != http.StatusCreated {
+				errs <- fmt.Errorf("create %s: status %d", name, code)
+			}
+		}(r)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	var out struct {
+		Studies []string `json:"studies"`
+	}
+	if code := c.get("/studies", &out); code != http.StatusOK || len(out.Studies) != n {
+		t.Fatalf("list: code %d, got %d studies, want %d", code, len(out.Studies), n)
+	}
+}
+
+// TestCreateAfterClose pins the insert-or-rollback path: once Close has
+// run, a create must fail with 503 and must not leak a WAL handle or a spec
+// file for a study the close snapshot never saw.
+func TestCreateAfterClose(t *testing.T) {
+	s, c := newTestServer(t)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if code := c.post("/studies", testSpec("late", 4, 1), nil); code != http.StatusServiceUnavailable {
+		t.Fatalf("create after close: status %d, want 503", code)
+	}
+	if _, err := os.Stat(s.specPath("late")); !os.IsNotExist(err) {
+		t.Fatalf("spec file leaked after rejected create: %v", err)
 	}
 }

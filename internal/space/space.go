@@ -235,6 +235,21 @@ func (s *Space) Normalize(native []float64) []float64 {
 	return u
 }
 
+// NormalizeInto writes the unit-hypercube image of native into dst, which
+// must have length Dim — the allocation-free form of Normalize for search
+// inner loops.
+//
+//gptlint:hotpath
+func (s *Space) NormalizeInto(dst, native []float64) {
+	s.checkLen(native)
+	if len(dst) != len(native) {
+		panic("space: NormalizeInto: dst length mismatch")
+	}
+	for i, p := range s.Params {
+		dst[i] = p.normalize(native[i])
+	}
+}
+
 // Denormalize maps a unit-hypercube point into native values.
 func (s *Space) Denormalize(u []float64) []float64 {
 	s.checkLen(u)
@@ -243,6 +258,21 @@ func (s *Space) Denormalize(u []float64) []float64 {
 		v[i] = p.denormalize(u[i])
 	}
 	return v
+}
+
+// DenormalizeInto writes the native image of u into dst, which must have
+// length Dim — the allocation-free form of Denormalize for search inner
+// loops.
+//
+//gptlint:hotpath
+func (s *Space) DenormalizeInto(dst, u []float64) {
+	s.checkLen(u)
+	if len(dst) != len(u) {
+		panic("space: DenormalizeInto: dst length mismatch")
+	}
+	for i, p := range s.Params {
+		dst[i] = p.denormalize(u[i])
+	}
 }
 
 // ValueMap returns the native values keyed by parameter name.
@@ -255,14 +285,37 @@ func (s *Space) ValueMap(native []float64) map[string]float64 {
 	return m
 }
 
+// ValueMapInto fills m with the native values keyed by parameter name,
+// reusing m's storage — the allocation-free form of ValueMap for search
+// inner loops (overwriting an existing key does not allocate).
+//
+//gptlint:hotpath
+func (s *Space) ValueMapInto(m map[string]float64, native []float64) {
+	s.checkLen(native)
+	for i, p := range s.Params {
+		m[p.Name] = native[i]
+	}
+}
+
 // Feasible reports whether the native point satisfies every constraint.
 func (s *Space) Feasible(native []float64) bool {
 	if len(s.Constraints) == 0 {
 		return true
 	}
-	vals := s.ValueMap(native)
+	return s.FeasibleInto(make(map[string]float64, len(native)), native)
+}
+
+// FeasibleInto is Feasible with a caller-provided scratch map, so the
+// per-candidate constraint check of a search inner loop allocates nothing.
+//
+//gptlint:hotpath
+func (s *Space) FeasibleInto(scratch map[string]float64, native []float64) bool {
+	if len(s.Constraints) == 0 {
+		return true
+	}
+	s.ValueMapInto(scratch, native)
 	for _, c := range s.Constraints {
-		if !c.Ok(vals) {
+		if !c.Ok(scratch) {
 			return false
 		}
 	}

@@ -240,3 +240,50 @@ func TestValueMap(t *testing.T) {
 		t.Fatalf("ValueMap = %v", m)
 	}
 }
+
+// TestIntoVariantsMatch pins the allocation-free forms against their
+// allocating originals on random points, and asserts they are actually
+// allocation-free — the property the hotpath-alloc lint rule now enforces
+// transitively on every search inner loop.
+func TestIntoVariantsMatch(t *testing.T) {
+	s := MustNew(NewReal("r", -3, 7), NewInteger("i", 0, 9), NewCategorical("c", "a", "b", "x"))
+	s.AddConstraint("i<=5ish", func(v map[string]float64) bool { return v["i"] <= 5 || v["r"] > 0 })
+	rng := rand.New(rand.NewSource(7))
+	dst := make([]float64, s.Dim())
+	nat := make([]float64, s.Dim())
+	scratch := make(map[string]float64, s.Dim())
+	for trial := 0; trial < 200; trial++ {
+		u := []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+		want := s.Denormalize(u)
+		s.DenormalizeInto(nat, u)
+		for d := range want {
+			if nat[d] != want[d] {
+				t.Fatalf("DenormalizeInto[%d] = %v, want %v", d, nat[d], want[d])
+			}
+		}
+		wantU := s.Normalize(want)
+		s.NormalizeInto(dst, want)
+		for d := range wantU {
+			if dst[d] != wantU[d] {
+				t.Fatalf("NormalizeInto[%d] = %v, want %v", d, dst[d], wantU[d])
+			}
+		}
+		if got, want := s.FeasibleInto(scratch, nat), s.Feasible(nat); got != want {
+			t.Fatalf("FeasibleInto = %v, Feasible = %v at %v", got, want, nat)
+		}
+	}
+
+	u := []float64{0.9, 0.1, 0.5}
+	s.DenormalizeInto(nat, u)
+	feasible := false
+	if n := testing.AllocsPerRun(100, func() {
+		s.DenormalizeInto(nat, u)
+		s.NormalizeInto(dst, nat)
+		feasible = s.FeasibleInto(scratch, nat)
+	}); n != 0 {
+		t.Fatalf("Into variants allocate %.1f times per candidate, want 0", n)
+	}
+	if !feasible {
+		t.Fatal("probe point should be feasible (r > 0)")
+	}
+}

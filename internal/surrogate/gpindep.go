@@ -89,6 +89,7 @@ func (g *gpIndepModel) NewWorkspace() Workspace {
 	return &gpIndepWorkspace{wss: wss}
 }
 
+//gptlint:hotpath
 func (g *gpIndepModel) PredictInto(ws Workspace, task int, x []float64) (mean, variance float64) {
 	return g.models[task].PredictInto(ws.(*gpIndepWorkspace).wss[task], 0, x)
 }

@@ -63,6 +63,7 @@ func (l *lcmModel) Kind() string            { return KindLCM }
 func (l *lcmModel) NumTasks() int           { return l.m.NumTasks }
 func (l *lcmModel) NewWorkspace() Workspace { return l.m.NewPredictWorkspace() }
 
+//gptlint:hotpath
 func (l *lcmModel) PredictInto(ws Workspace, task int, x []float64) (mean, variance float64) {
 	return l.m.PredictInto(ws.(*gp.PredictWorkspace), task, x)
 }

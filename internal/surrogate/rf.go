@@ -59,6 +59,7 @@ func (r *rfModel) Kind() string            { return KindRF }
 func (r *rfModel) NumTasks() int           { return len(r.forests) }
 func (r *rfModel) NewWorkspace() Workspace { return nil }
 
+//gptlint:hotpath
 func (r *rfModel) PredictInto(_ Workspace, task int, x []float64) (mean, variance float64) {
 	return r.forests[task].Predict(x)
 }

@@ -260,6 +260,7 @@ func (s *sgpModel) NewWorkspace() Workspace {
 	return ws
 }
 
+//gptlint:hotpath
 func (s *sgpModel) PredictInto(ws Workspace, task int, x []float64) (mean, variance float64) {
 	ts := s.tasks[task]
 	w := ws.(*sgpWorkspace)
