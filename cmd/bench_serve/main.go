@@ -1,0 +1,384 @@
+// Command bench_serve load-tests the gptuned HTTP service: an in-process
+// server on a real TCP listener, hammered by thousands of concurrent
+// suggest/report clients that evaluate the paper's analytical objective
+// (Eq. 11) client-side. It drives one synchronous and one async
+// (options.async) study with the same spec and records, per mode, request
+// throughput, completed evaluations, and the suggest-latency distribution
+// (p50/p95/p99) — the serve-layer numbers behind the async mode's claim:
+// with modeling off the request path, a suggest that lands mid-fit costs a
+// fast 409, not a surrogate fit.
+//
+// The report is written to BENCH_SERVE.json and self-validated (non-zero
+// throughput, well-formed JSON) so a CI smoke run fails loudly instead of
+// committing an empty benchmark.
+//
+// Usage: go run ./cmd/bench_serve [-o BENCH_SERVE.json] [-clients 2000]
+//
+//	[-eps 16] [-seed 42] [-conns 256]
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/mpx"
+	"repro/internal/serve"
+)
+
+// paperObjective is Eq. (11), evaluated client-side — the server never holds
+// an Objective, exactly like a production tuning client.
+func paperObjective(t, x float64) float64 {
+	s := 0.0
+	for i := 1; i <= 5; i++ {
+		s += math.Sin(2 * math.Pi * x * math.Pow(t+2, float64(i)))
+	}
+	return 1 + math.Exp(-math.Pow(x+1, t+1))*math.Cos(2*math.Pi*x)*s
+}
+
+var benchTasks = [][]float64{{0}, {1.5}, {3}}
+
+// Client-side wire structs mirroring the serve API (the server's own types
+// are unexported; a real client defines these too).
+type suggestion struct {
+	ID   int64     `json:"id"`
+	Task int       `json:"task"`
+	X    []float64 `json:"x"`
+}
+
+type suggestResponse struct {
+	Suggestion *suggestion `json:"suggestion"`
+	Done       bool        `json:"done"`
+}
+
+type reportRequest struct {
+	ID int64     `json:"id"`
+	Y  []float64 `json:"y"`
+}
+
+type reportResponse struct {
+	OK bool `json:"ok"`
+}
+
+// modeReport is one mode's (sync or async) measurements.
+type modeReport struct {
+	Async        bool    `json:"async"`
+	Clients      int     `json:"clients"`
+	WallMs       float64 `json:"wall_ms"`
+	Requests     int64   `json:"requests"`      // suggest + report requests completed
+	Evals        int64   `json:"evals"`         // acknowledged (committed) evaluations
+	Conflicts    int64   `json:"conflicts"`     // suggest 409s (none pending / batch generating)
+	RacedReports int64   `json:"raced_reports"` // duplicate reports that lost the re-issue race
+	ReqPerSec    float64 `json:"req_per_sec"`
+	EvalsPerSec  float64 `json:"evals_per_sec"`
+	SuggestP50Ms float64 `json:"suggest_p50_ms"`
+	SuggestP95Ms float64 `json:"suggest_p95_ms"`
+	SuggestP99Ms float64 `json:"suggest_p99_ms"`
+	SuggestMaxMs float64 `json:"suggest_max_ms"`
+}
+
+type report struct {
+	Config struct {
+		Clients    int    `json:"clients"`
+		Conns      int    `json:"conns"`
+		EpsTot     int    `json:"eps_tot"`
+		Tasks      int    `json:"tasks"`
+		Seed       int64  `json:"seed"`
+		GoVersion  string `json:"go_version"`
+		GOMAXPROCS int    `json:"gomaxprocs"`
+	} `json:"config"`
+	Sync  modeReport `json:"sync"`
+	Async modeReport `json:"async"`
+}
+
+// stats accumulates one mode's counters; clients merge their local batches
+// under the mutex when they exit.
+type stats struct {
+	mu           sync.Mutex
+	latNs        []int64
+	requests     int64
+	evals        int64
+	conflicts    int64
+	racedReports int64
+	err          error
+}
+
+func (s *stats) merge(lat []int64, requests, evals, conflicts, raced int64, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.latNs = append(s.latNs, lat...)
+	s.requests += requests
+	s.evals += evals
+	s.conflicts += conflicts
+	s.racedReports += raced
+	if err != nil && s.err == nil {
+		s.err = err
+	}
+}
+
+// post sends one JSON request and decodes the response body into out.
+func post(hc *http.Client, url string, body, out any) (int, error) {
+	data, err := json.Marshal(body)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := hc.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		return 0, err
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return resp.StatusCode, fmt.Errorf("decoding %s response (status %d): %w", url, resp.StatusCode, err)
+		}
+	}
+	return resp.StatusCode, nil
+}
+
+// runClient is one tuning client's suggest→evaluate→report loop, run until
+// the study reports done. 409s (none pending) back off briefly, growing to a
+// 20ms cap; a duplicate report losing the re-issue race (404) is counted,
+// not fatal.
+func runClient(hc *http.Client, base, study string, st *stats) {
+	var lat []int64
+	var requests, evals, conflicts, raced int64
+	fail := func(err error) { st.merge(lat, requests, evals, conflicts, raced, err) }
+	backoff := time.Millisecond
+	for {
+		var sg suggestResponse
+		t0 := time.Now()
+		code, err := post(hc, base+"/studies/"+study+"/suggest", map[string]int{"task": -1}, &sg)
+		lat = append(lat, time.Since(t0).Nanoseconds())
+		requests++
+		if err != nil {
+			fail(err)
+			return
+		}
+		switch code {
+		case http.StatusOK:
+			backoff = time.Millisecond
+		case http.StatusConflict:
+			conflicts++
+			time.Sleep(backoff)
+			if backoff *= 2; backoff > 20*time.Millisecond {
+				backoff = 20 * time.Millisecond
+			}
+			continue
+		default:
+			fail(fmt.Errorf("suggest: status %d", code))
+			return
+		}
+		if sg.Done {
+			st.merge(lat, requests, evals, conflicts, raced, nil)
+			return
+		}
+		if sg.Suggestion == nil {
+			fail(fmt.Errorf("200 suggest response has neither suggestion nor done"))
+			return
+		}
+		y := paperObjective(benchTasks[sg.Suggestion.Task][0], sg.Suggestion.X[0])
+		var rep reportResponse
+		code, err = post(hc, base+"/studies/"+study+"/report", reportRequest{ID: sg.Suggestion.ID, Y: []float64{y}}, &rep)
+		requests++
+		if err != nil {
+			fail(err)
+			return
+		}
+		switch {
+		case code == http.StatusOK && rep.OK:
+			evals++
+		case code == http.StatusNotFound:
+			raced++ // another client's report for the same re-issued ID won
+		default:
+			fail(fmt.Errorf("report: status %d", code))
+			return
+		}
+	}
+}
+
+// percentileMs reads the p-th percentile (0..1) of sorted nanosecond
+// latencies, in milliseconds.
+func percentileMs(sorted []int64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p*float64(len(sorted)-1) + 0.5)
+	return float64(sorted[idx]) / 1e6
+}
+
+// runMode creates one study (sync or async) and drives it to completion with
+// `clients` concurrent clients, returning the measurements.
+func runMode(hc *http.Client, base string, async bool, clients, eps int, seed int64) (modeReport, error) {
+	name := "bench-sync"
+	if async {
+		name = "bench-async"
+	}
+	spec := serve.StudySpec{
+		Name:       name,
+		TaskParams: []serve.ParamSpec{{Name: "t", Kind: "real", Lo: 0, Hi: 10}},
+		Tuning:     []serve.ParamSpec{{Name: "x", Kind: "real", Lo: 0, Hi: 1}},
+		Outputs:    []string{"y"},
+		Tasks:      benchTasks,
+		Options:    serve.OptionsSpec{EpsTot: eps, Seed: seed, Workers: runtime.GOMAXPROCS(0), Async: async},
+	}
+	if code, err := post(hc, base+"/studies", spec, nil); err != nil || code != http.StatusCreated {
+		return modeReport{}, fmt.Errorf("creating study %s: status %d, %v", name, code, err)
+	}
+
+	var st stats
+	var wg sync.WaitGroup
+	t0 := time.Now()
+	for c := 0; c < clients; c++ {
+		mpx.Go(&wg, func() { runClient(hc, base, name, &st) })
+	}
+	wg.Wait()
+	wall := time.Since(t0)
+	if st.err != nil {
+		return modeReport{}, fmt.Errorf("study %s: %w", name, st.err)
+	}
+	wantEvals := int64(eps * len(benchTasks))
+	if st.evals != wantEvals {
+		return modeReport{}, fmt.Errorf("study %s committed %d evaluations, want %d", name, st.evals, wantEvals)
+	}
+	sort.Slice(st.latNs, func(i, j int) bool { return st.latNs[i] < st.latNs[j] })
+	m := modeReport{
+		Async:        async,
+		Clients:      clients,
+		WallMs:       float64(wall.Nanoseconds()) / 1e6,
+		Requests:     st.requests,
+		Evals:        st.evals,
+		Conflicts:    st.conflicts,
+		RacedReports: st.racedReports,
+		ReqPerSec:    float64(st.requests) / wall.Seconds(),
+		EvalsPerSec:  float64(st.evals) / wall.Seconds(),
+		SuggestP50Ms: percentileMs(st.latNs, 0.50),
+		SuggestP95Ms: percentileMs(st.latNs, 0.95),
+		SuggestP99Ms: percentileMs(st.latNs, 0.99),
+		SuggestMaxMs: percentileMs(st.latNs, 1.0),
+	}
+	return m, nil
+}
+
+// validate re-reads the written report and checks the CI smoke contract:
+// well-formed JSON, non-zero throughput and evaluations in both modes.
+func validate(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var rep report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return fmt.Errorf("%s is not well-formed JSON: %w", path, err)
+	}
+	for _, m := range []modeReport{rep.Sync, rep.Async} {
+		mode := "sync"
+		if m.Async {
+			mode = "async"
+		}
+		if m.ReqPerSec <= 0 || m.Evals <= 0 || m.SuggestP50Ms <= 0 {
+			return fmt.Errorf("%s: %s mode recorded zero throughput (req_per_sec=%v evals=%d p50=%vms)",
+				path, mode, m.ReqPerSec, m.Evals, m.SuggestP50Ms)
+		}
+	}
+	return nil
+}
+
+func run() error {
+	out := flag.String("o", "BENCH_SERVE.json", "output path")
+	clients := flag.Int("clients", 2000, "concurrent suggest/report clients per mode")
+	conns := flag.Int("conns", 0, "TCP connections the clients share (MaxConnsPerHost); 0 = one per client")
+	eps := flag.Int("eps", 16, "evaluation budget per task (eps_tot)")
+	seed := flag.Int64("seed", 42, "study seed")
+	flag.Parse()
+	if *clients < 1 {
+		*clients = 1
+	}
+	if *conns <= 0 {
+		*conns = *clients
+	}
+
+	dir, err := os.MkdirTemp("", "bench_serve")
+	if err != nil {
+		return err
+	}
+	defer func() { _ = os.RemoveAll(dir) }()
+	srv, err := serve.NewServer(serve.Config{DataDir: dir})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	var serveWG sync.WaitGroup
+	mpx.Go(&serveWG, func() { _ = hs.Serve(ln) }) // returns ErrServerClosed on shutdown
+	defer func() {
+		_ = hs.Close()
+		serveWG.Wait()
+		_ = srv.Close()
+	}()
+	base := "http://" + ln.Addr().String()
+
+	// One connection per client by default, so suggest latency measures the
+	// server, not client-side pool queueing; -conns bounds the pool when the
+	// descriptor budget is tighter than the client count.
+	hc := &http.Client{
+		Timeout: 60 * time.Second,
+		Transport: &http.Transport{
+			MaxIdleConns:        *conns,
+			MaxIdleConnsPerHost: *conns,
+			MaxConnsPerHost:     *conns,
+		},
+	}
+
+	var rep report
+	rep.Config.Clients = *clients
+	rep.Config.Conns = *conns
+	rep.Config.EpsTot = *eps
+	rep.Config.Tasks = len(benchTasks)
+	rep.Config.Seed = *seed
+	rep.Config.GoVersion = runtime.Version()
+	rep.Config.GOMAXPROCS = runtime.GOMAXPROCS(0)
+
+	if rep.Sync, err = runMode(hc, base, false, *clients, *eps, *seed); err != nil {
+		return err
+	}
+	fmt.Printf("sync:  %.0f req/s, suggest p50=%.2fms p95=%.2fms p99=%.2fms max=%.2fms\n",
+		rep.Sync.ReqPerSec, rep.Sync.SuggestP50Ms, rep.Sync.SuggestP95Ms, rep.Sync.SuggestP99Ms, rep.Sync.SuggestMaxMs)
+	if rep.Async, err = runMode(hc, base, true, *clients, *eps, *seed); err != nil {
+		return err
+	}
+	fmt.Printf("async: %.0f req/s, suggest p50=%.2fms p95=%.2fms p99=%.2fms max=%.2fms\n",
+		rep.Async.ReqPerSec, rep.Async.SuggestP50Ms, rep.Async.SuggestP95Ms, rep.Async.SuggestP99Ms, rep.Async.SuggestMaxMs)
+
+	buf, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		return err
+	}
+	if err := validate(*out); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", *out)
+	return nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "bench_serve:", err)
+		os.Exit(1)
+	}
+}

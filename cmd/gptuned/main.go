@@ -55,9 +55,10 @@ func main() {
 	hs := &http.Server{
 		Addr:    *addr,
 		Handler: srv.Handler(),
-		// Suggest can legitimately block while a batch's modeling phase
-		// runs, so there is no write timeout; slow-client abuse is bounded
-		// at the header and idle layers instead.
+		// On a synchronous study, suggest can legitimately block while a
+		// batch's modeling phase runs (async studies answer 409 +
+		// Retry-After instead), so there is no write timeout; slow-client
+		// abuse is bounded at the header and idle layers instead.
 		ReadHeaderTimeout: 10 * time.Second,
 		IdleTimeout:       2 * time.Minute,
 	}

@@ -19,9 +19,26 @@ var ErrDone = errors.New("core: tuning budget exhausted")
 
 // ErrNonePending reports that the engine cannot hand out a suggestion right
 // now: the current batch's remaining configurations are all outstanding with
-// other callers, and the next batch cannot be generated until they are
-// observed. Callers should report pending observations (or retry later).
+// other callers (or, in async mode, the next batch is still being generated
+// in the background). Callers should report pending observations or retry
+// shortly — the serve layer surfaces this as a 409 with a Retry-After hint.
 var ErrNonePending = errors.New("core: no suggestion pending until outstanding observations are reported")
+
+// ErrUnknownSuggestion reports an Observe/Fail against an ID the engine has
+// no pending suggestion for: never issued, already observed, failed
+// terminally, or already committed. The serve layer matches it with
+// errors.Is to return 404 instead of string-matching error text.
+var ErrUnknownSuggestion = errors.New("core: engine: no pending suggestion")
+
+// ErrBadObservation reports structurally invalid reported outputs (wrong
+// arity or non-finite values). The suggestion stays pending, so the caller
+// can re-report. The serve layer maps it to 400.
+var ErrBadObservation = errors.New("core: bad observation")
+
+// ErrTerminalFailure reports that a suggestion failed three evaluation
+// attempts and is dead, wrapping the last cause. A dead job blocks its
+// batch forever; the study cannot finish without operator intervention.
+var ErrTerminalFailure = errors.New("core: objective failed after retries")
 
 // Suggestion is one configuration the engine wants evaluated: ask for it
 // with Suggest, run the application, and hand the outputs back to Observe
@@ -70,11 +87,24 @@ func (j *engJob) suggestion() Suggestion {
 // seed and options. Checkpoint deliveries follow the same canonical order,
 // so the PR 3 WAL replay path resumes ask/tell studies unchanged.
 //
-// All methods are safe for concurrent use; the engine serializes itself
-// through one mutex (suggestion generation — the modeling phase — runs
-// under it, so concurrent callers block until the new batch is ready).
+// All methods are safe for concurrent use. The mutex guards only batch
+// bookkeeping and history commits; batch generation — the modeling and
+// search phases — always runs with the mutex released, so Observe, Fail and
+// the status surface (Phase/Done/Err/Result) never wait out a surrogate
+// fit. Generation can run off-mutex because it only starts once the
+// previous batch has fully committed: at that point no job is pending, so
+// no concurrent call can touch the history or generation state it reads.
+//
+// In the default synchronous mode, the Suggest/SuggestAll call that finds
+// the batch exhausted runs the generation itself (concurrent askers wait on
+// a condition variable), preserving the classic blocking semantics the
+// batch Run driver depends on. With Options.Async, generation instead runs
+// in a single background goroutine and Suggest returns ErrNonePending
+// immediately while a batch is being prepared.
 type Engine struct {
-	mu    sync.Mutex
+	mu  sync.Mutex
+	gen *sync.Cond // broadcast after a generation installs (or fails)
+
 	st    *state
 	start time.Time
 
@@ -85,7 +115,10 @@ type Engine struct {
 
 	initGenerated bool
 	priorsMerged  bool
-	phase         string // tuning phase of the current batch: "init", "search", "mo"
+	generating    bool           // one generation runs off-mutex at a time
+	async         bool           // Options.Async: generation runs in the background
+	genWG         sync.WaitGroup // joins the async background generator (Quiesce)
+	phase         string         // tuning phase of the current batch: "init", "search", "mo"
 	fatal         error
 }
 
@@ -102,9 +135,13 @@ func NewEngine(p *Problem, tasks [][]float64, options Options) (*Engine, error) 
 		return nil, errors.New("core: no tasks given")
 	}
 	options.defaults()
-	fitter, err := surrogate.New(options.Surrogate)
-	if err != nil {
-		return nil, fmt.Errorf("core: %w", err)
+	fitter := options.fitterOverride
+	if fitter == nil {
+		var err error
+		fitter, err = surrogate.New(options.Surrogate)
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
 	}
 	st := &state{
 		p:      p,
@@ -119,7 +156,9 @@ func NewEngine(p *Problem, tasks [][]float64, options Options) (*Engine, error) 
 	if p.Model != nil {
 		st.coeffs = append([]float64(nil), p.Model.Coeffs...)
 	}
-	return &Engine{st: st, start: st.opts.now(), byID: make(map[int64]*engJob), phase: "init"}, nil
+	e := &Engine{st: st, start: st.opts.now(), byID: make(map[int64]*engJob), phase: "init", async: options.Async}
+	e.gen = sync.NewCond(&e.mu)
+	return e, nil
 }
 
 // Surrogate returns the resolved surrogate backend kind the engine models
@@ -129,32 +168,40 @@ func (e *Engine) Surrogate() string { return e.st.fitter.Kind() }
 // Phase returns the tuning phase of the engine's current batch: "init"
 // (Algorithm 1 line 1 sampling), "search" (single-objective model/search
 // generations), "mo" (Algorithm 2 generations), or "done" once the budget is
-// exhausted and every observation has committed.
+// exhausted and every observation has committed. Never blocks on a
+// generation in flight.
 func (e *Engine) Phase() string {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if e.initGenerated && e.nextCommit == len(e.batch) && e.st.minDone() >= e.st.opts.EpsTot {
+	if e.doneLocked() {
 		return "done"
 	}
 	return e.phase
 }
 
+// doneLocked reports whether the budget is exhausted and every observation
+// has committed. Called with e.mu held.
+func (e *Engine) doneLocked() bool {
+	return e.initGenerated && e.nextCommit == len(e.batch) && e.st.minDone() >= e.st.opts.EpsTot
+}
+
 // Suggest returns the next configuration to evaluate for the given task
 // (task = -1 means any task). When every fresh configuration of the current
 // batch is already handed out, the outstanding one is returned again — a
-// crashed caller can re-ask — and ErrNonePending is returned only when no
-// unobserved configuration for the task exists at all. ErrDone signals the
-// budget is exhausted.
+// crashed caller can re-ask — and ErrNonePending is returned when no
+// unobserved configuration for the task exists at all (in async mode, also
+// while the next batch is still generating in the background). ErrDone
+// signals the budget is exhausted.
 func (e *Engine) Suggest(task int) (Suggestion, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
 	if task < -1 || task >= len(e.st.tasks) {
 		return Suggestion{}, fmt.Errorf("core: engine: task %d out of range (have %d tasks)", task, len(e.st.tasks))
 	}
-	if err := e.ensureBatch(); err != nil { //gptlint:ignore lock-held-across-blocking batch generation (model fit behind the gate) is serialized under the engine mutex by design; see ROADMAP async pipelining
-		return Suggestion{}, err
+	e.awaitBatch()
+	defer e.mu.Unlock()
+	if e.fatal != nil {
+		return Suggestion{}, e.fatal
 	}
-	if len(e.batch) == 0 {
+	if e.doneLocked() {
 		return Suggestion{}, ErrDone
 	}
 	for _, j := range e.batch[e.nextCommit:] {
@@ -178,10 +225,10 @@ func (e *Engine) Suggest(task int) (Suggestion, error) {
 // fully committed). An empty slice with a nil error means the budget is
 // exhausted. This is the batch driver's path: one call per MLA iteration.
 func (e *Engine) SuggestAll() ([]Suggestion, error) {
-	e.mu.Lock()
+	e.awaitBatch()
 	defer e.mu.Unlock()
-	if err := e.ensureBatch(); err != nil { //gptlint:ignore lock-held-across-blocking batch generation is serialized under the engine mutex by design; see ROADMAP async pipelining
-		return nil, err
+	if e.fatal != nil {
+		return nil, e.fatal
 	}
 	var out []Suggestion
 	for _, j := range e.batch[e.nextCommit:] {
@@ -194,11 +241,169 @@ func (e *Engine) SuggestAll() ([]Suggestion, error) {
 	return out, nil
 }
 
+// awaitBatch brings the engine to a decided state and returns with e.mu
+// HELD: the current batch has uncommitted work, the budget is exhausted,
+// the engine is fatal, or — async mode only — a background generation is in
+// flight (the caller sees an exhausted batch and reports ErrNonePending).
+//
+// In synchronous mode the caller that finds the batch exhausted runs the
+// generation itself, releasing the mutex for the whole expensive phase;
+// concurrent callers wait on the condition variable (which releases the
+// mutex while parked) until the new batch installs.
+func (e *Engine) awaitBatch() {
+	e.mu.Lock()
+	for e.fatal == nil && e.nextCommit == len(e.batch) && !e.doneLocked() {
+		if e.generating {
+			if e.async {
+				return
+			}
+			e.gen.Wait()
+			continue
+		}
+		e.generating = true
+		if e.async {
+			mpx.Go(&e.genWG, e.runGeneration)
+			return
+		}
+		e.mu.Unlock()
+		e.runGeneration()
+		e.mu.Lock()
+	}
+}
+
+// maybeSpawnGeneration starts the background generator as soon as an async
+// engine's batch has fully committed, so the next batch is being fitted —
+// or already installed — before the next Suggest arrives instead of on its
+// critical path. No-op in synchronous mode. Called with e.mu held.
+func (e *Engine) maybeSpawnGeneration() {
+	if !e.async || e.generating || e.fatal != nil {
+		return
+	}
+	if e.nextCommit < len(e.batch) || e.doneLocked() {
+		return
+	}
+	e.generating = true
+	mpx.Go(&e.genWG, e.runGeneration)
+}
+
+// Quiesce blocks until no background generation is in flight. Callers must
+// stop feeding the engine first (no concurrent Suggest/Observe/Fail) or a
+// fresh generation may start after Quiesce returns; the tuning service
+// calls it after draining HTTP handlers, before closing a study's WAL.
+func (e *Engine) Quiesce() {
+	e.genWG.Wait()
+}
+
+// runGeneration generates batches until one has uncommitted work or the
+// budget is exhausted (a resumed run's checkpoint may satisfy entire
+// batches at install time, so this loops). Entered and left with e.mu
+// released; the mutex is taken only for state transitions — merge, install,
+// commit — never across the modeling/search phases. The caller has set
+// e.generating; this clears it and wakes every waiter when done.
+func (e *Engine) runGeneration() {
+	e.mu.Lock()
+	for e.fatal == nil && e.nextCommit == len(e.batch) {
+		if e.initGenerated && !e.priorsMerged {
+			if err := e.st.mergePriors(); err != nil {
+				e.fatal = err
+				break
+			}
+			e.priorsMerged = true
+		}
+		if e.doneLocked() {
+			break
+		}
+		isInit := !e.initGenerated
+		e.mu.Unlock()
+		jobs, phase, delta, err := e.generate(isInit)
+		e.mu.Lock()
+		e.st.stats.Add(delta)
+		if err != nil {
+			e.fatal = err
+			break
+		}
+		e.initGenerated = true
+		if err := e.install(jobs, phase); err != nil { //gptlint:ignore lock-held-across-blocking install streams checkpoint-autofilled commits to the WAL inside the critical section so replay order always matches commit order (same contract as Observe)
+			break // commitReady already set e.fatal
+		}
+	}
+	e.generating = false
+	e.gen.Broadcast()
+	e.mu.Unlock()
+}
+
+// generate runs one generation's expensive work — initial LHS sampling, or
+// the modeling+search phases behind the shared ModelGate — with no engine
+// lock held. It reads only the committed history (st.X, st.Y, st.done) and
+// generation-private state (st.rng, st.coeffs, st.mdl, the fitter), which
+// nothing else touches while a generation is in flight: generation starts
+// only once every job of the previous batch has committed, so no pending ID
+// exists through which Observe/Fail could mutate the history. Phase timings
+// come back as a delta so st.stats stays mutex-guarded for Result readers.
+func (e *Engine) generate(isInit bool) (jobs []*engJob, phase string, delta PhaseStats, err error) {
+	st := e.st
+	if isInit {
+		jobs, err = e.genInit()
+		return jobs, "init", delta, err
+	}
+	// Modeling+search is the expensive phase; a shared gate keeps
+	// concurrent studies (each with its own engine) from oversubscribing
+	// the machine.
+	if gate := st.opts.ModelGate; gate != nil {
+		gate.Acquire()
+		defer gate.Release()
+	}
+	if st.p.Model != nil && st.opts.FitModelCoeffs && len(st.coeffs) > 0 {
+		t0 := st.opts.now()
+		st.fitModelCoeffs()
+		delta.ModelUpdate += st.opts.since(t0)
+	}
+	if st.p.Outputs.Dim() == 1 {
+		jobs, err = e.genSearchSingle(&delta)
+		phase = "search"
+	} else {
+		jobs, err = e.genSearchMulti(&delta)
+		phase = "mo"
+	}
+	return jobs, phase, delta, err
+}
+
+// install registers a freshly generated batch under the engine mutex — the
+// atomic swap the async mode's determinism rests on: sequential IDs, the
+// engine phase, checkpoint autofill, and the prefix commit all land in one
+// critical section, so concurrent callers observe either the old exhausted
+// batch or the complete new one. Sets e.fatal on checkpoint failure.
+// Called with e.mu held.
+func (e *Engine) install(jobs []*engJob, phase string) error {
+	st := e.st
+	e.phase = phase
+	for _, j := range jobs {
+		j.id = e.nextID
+		e.nextID++
+		e.byID[j.id] = j
+	}
+	e.batch, e.nextCommit = jobs, 0
+	// A resumed run satisfies already-logged evaluations from the
+	// checkpoint instead of re-paying them (the log stores both the
+	// requested and the finally-evaluated configuration, so even a
+	// retried evaluation replays without consuming retry-RNG draws).
+	if cp := st.opts.Checkpoint; cp != nil {
+		for _, j := range jobs {
+			if fx, fy, ok := cp.Lookup(st.tasks[j.task], j.requested); ok {
+				j.x, j.y, j.observed = fx, fy, true
+			}
+		}
+	}
+	return e.commitReady()
+}
+
 // Observe reports the measured outputs for a previously suggested
 // configuration. The observation is validated, buffered, and committed to
 // the tuning history as soon as every earlier configuration of its batch
 // has committed (canonical-order prefix commit); each commit is streamed to
-// Options.Checkpoint. A checkpoint failure is fatal to the engine.
+// Options.Checkpoint. A checkpoint failure is fatal to the engine. Observe
+// never waits on a generation: it blocks only on the batch-bookkeeping
+// mutex.
 func (e *Engine) Observe(id int64, y []float64) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -207,24 +412,33 @@ func (e *Engine) Observe(id int64, y []float64) error {
 	}
 	j, ok := e.byID[id]
 	if !ok || !j.issued || j.observed || j.dead {
-		return fmt.Errorf("core: engine: no pending suggestion %d", id)
+		return fmt.Errorf("%w %d", ErrUnknownSuggestion, id)
 	}
 	if err := e.st.p.checkOutputs(y); err != nil {
-		return err
+		return fmt.Errorf("%w: %w", ErrBadObservation, err)
 	}
 	j.y = append([]float64(nil), y...)
 	j.observed = true
 	if e.st.p.Objective == nil {
 		e.st.evals.Add(1) // caller-evaluated; count it for the telemetry
 	}
-	return e.commitReady() //gptlint:ignore lock-held-across-blocking prefix commits stream to the WAL inside the critical section so replay order always matches commit order
+	if err := e.commitReady(); err != nil { //gptlint:ignore lock-held-across-blocking prefix commits stream to the WAL inside the critical section so replay order always matches commit order
+		return err
+	}
+	// The observation that completes a batch is what unblocks the next
+	// generation; in async mode, start fitting it now — off this request's
+	// path and everyone else's.
+	e.maybeSpawnGeneration()
+	return nil
 }
 
 // Fail reports that evaluating a suggestion errored. The engine substitutes
 // a fresh feasible configuration (drawn from the job's own deterministic
 // retry stream, fixed at generation time) and returns it under the same ID;
-// after three failed attempts it gives up and returns the terminal error,
-// wrapping the last cause.
+// after three failed attempts it gives up and returns ErrTerminalFailure
+// wrapping the last cause. The terminal attempt draws nothing: the dead
+// job's configuration stays what the last attempt actually ran, and the
+// retry stream is left exactly two draws deep no matter how the study ends.
 func (e *Engine) Fail(id int64, cause error) (Suggestion, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -233,13 +447,17 @@ func (e *Engine) Fail(id int64, cause error) (Suggestion, error) {
 	}
 	j, ok := e.byID[id]
 	if !ok || !j.issued || j.observed || j.dead {
-		return Suggestion{}, fmt.Errorf("core: engine: no pending suggestion %d", id)
+		return Suggestion{}, fmt.Errorf("%w %d", ErrUnknownSuggestion, id)
 	}
 	if cause == nil {
 		cause = errors.New("evaluation failed")
 	}
 	j.lastErr = cause
 	j.attempts++
+	if j.attempts >= 3 {
+		j.dead = true
+		return Suggestion{}, fmt.Errorf("%w: %w", ErrTerminalFailure, j.lastErr)
+	}
 	if j.rng == nil {
 		j.rng = rand.New(rand.NewSource(j.retrySeed))
 	}
@@ -249,19 +467,15 @@ func (e *Engine) Fail(id int64, cause error) (Suggestion, error) {
 		return Suggestion{}, serr
 	}
 	j.x = pts[0]
-	if j.attempts >= 3 {
-		j.dead = true
-		return Suggestion{}, fmt.Errorf("core: objective failed after retries: %w", j.lastErr)
-	}
 	return j.suggestion(), nil
 }
 
 // Done reports whether the budget is exhausted and every observation has
-// committed.
+// committed. Never blocks on a generation in flight.
 func (e *Engine) Done() bool {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return e.initGenerated && e.nextCommit == len(e.batch) && e.st.minDone() >= e.st.opts.EpsTot
+	return e.doneLocked()
 }
 
 // Err returns the engine's fatal error (a checkpoint failure or a
@@ -273,84 +487,15 @@ func (e *Engine) Err() error {
 }
 
 // Result packages everything observed so far — valid mid-study (partial
-// history) and after Done.
+// history) and after Done. Never blocks on a generation in flight: it reads
+// the committed history under the bookkeeping mutex, which generation never
+// holds.
 func (e *Engine) Result() *Result {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	res := e.st.partialResult()
 	res.Stats.Total = e.st.opts.since(e.start)
 	return res
-}
-
-// ensureBatch generates batches until one has uncommitted work (or the
-// budget is exhausted, leaving an empty batch). A resumed run's checkpoint
-// may satisfy entire batches at generation time, so this loops: a fully
-// autofilled batch commits immediately and the next one is generated.
-// Called with e.mu held.
-func (e *Engine) ensureBatch() error {
-	if e.fatal != nil {
-		return e.fatal
-	}
-	st := e.st
-	for e.nextCommit == len(e.batch) {
-		if e.initGenerated && !e.priorsMerged {
-			if err := st.mergePriors(); err != nil {
-				e.fatal = err
-				return err
-			}
-			e.priorsMerged = true
-		}
-		if e.initGenerated && st.minDone() >= st.opts.EpsTot {
-			e.batch, e.nextCommit = nil, 0
-			return nil
-		}
-		var jobs []*engJob
-		var err error
-		if !e.initGenerated {
-			jobs, err = e.genInit()
-			e.initGenerated = true
-		} else {
-			// Modeling+search is the expensive phase; a shared gate keeps
-			// concurrent studies (each with its own engine) from
-			// oversubscribing the machine.
-			if gate := st.opts.ModelGate; gate != nil {
-				gate.Acquire()
-			}
-			if st.p.Model != nil && st.opts.FitModelCoeffs && len(st.coeffs) > 0 {
-				t0 := st.opts.now()
-				st.fitModelCoeffs()
-				st.stats.ModelUpdate += st.opts.since(t0)
-			}
-			if st.p.Outputs.Dim() == 1 {
-				jobs, err = e.genSearchSingle()
-			} else {
-				jobs, err = e.genSearchMulti()
-			}
-			if gate := st.opts.ModelGate; gate != nil {
-				gate.Release()
-			}
-		}
-		if err != nil {
-			e.fatal = err
-			return err
-		}
-		e.batch, e.nextCommit = jobs, 0
-		// A resumed run satisfies already-logged evaluations from the
-		// checkpoint instead of re-paying them (the log stores both the
-		// requested and the finally-evaluated configuration, so even a
-		// retried evaluation replays without consuming retry-RNG draws).
-		if cp := st.opts.Checkpoint; cp != nil {
-			for _, j := range jobs {
-				if fx, fy, ok := cp.Lookup(st.tasks[j.task], j.requested); ok {
-					j.x, j.y, j.observed = fx, fy, true
-				}
-			}
-		}
-		if err := e.commitReady(); err != nil {
-			return err
-		}
-	}
-	return nil
 }
 
 // commitReady commits the contiguous observed prefix of the current batch:
@@ -380,7 +525,8 @@ func (e *Engine) commitReady() error {
 // genInit implements Algorithm 1 line 1: ε_tot/2 feasible LHS
 // configurations per task. The retry seed is salted with the job index, not
 // just the task: two failing configurations of the same task must draw
-// distinct replacement points (a task-only seed made them collide).
+// distinct replacement points (a task-only seed made them collide). IDs are
+// assigned later, at install time, under the engine mutex.
 func (e *Engine) genInit() ([]*engJob, error) {
 	st := e.st
 	eps := int(math.Round(float64(st.opts.EpsTot) * st.opts.InitFraction))
@@ -401,10 +547,7 @@ func (e *Engine) genInit() ([]*engJob, error) {
 		}
 	}
 	for idx, j := range jobs {
-		j.id = e.nextID
-		e.nextID++
 		j.retrySeed = st.opts.Seed ^ hash3(j.task, idx, len(jobs))
-		e.byID[j.id] = j
 	}
 	return jobs, nil
 }
@@ -413,14 +556,15 @@ func (e *Engine) genInit() ([]*engJob, error) {
 // the joint LCM on all data, or — on incremental generations under
 // Options.RefitEvery — extend the previous model with the new points) then
 // search phase (per-task EI maximization by PSO), producing the next batch
-// of configurations in (task, slot) order.
-func (e *Engine) genSearchSingle() ([]*engJob, error) {
+// of configurations in (task, slot) order. Runs without the engine mutex;
+// phase timings accumulate into delta.
+func (e *Engine) genSearchSingle(delta *PhaseStats) ([]*engJob, error) {
 	st := e.st
 	ms := st.minSamples()
 
 	t0 := st.opts.now()
 	models, tvs, fs, refit, err := st.modelPhase(1, ms)
-	st.stats.Modeling += st.opts.since(t0)
+	delta.Modeling += st.opts.since(t0)
 	if err != nil {
 		return nil, err
 	}
@@ -440,23 +584,23 @@ func (e *Engine) genSearchSingle() ([]*engJob, error) {
 	mpx.ParallelFor(len(st.tasks), st.opts.Workers, func(i int) {
 		newX[i] = st.searchBatch(i, models[0], tvs[0], fs)
 	})
-	st.stats.Search += st.opts.since(t1)
+	delta.Search += st.opts.since(t1)
 
-	return e.jobsFromSearch(newX, "search", ms), nil
+	return jobsFromSearch(st, newX, "search", ms), nil
 }
 
 // genSearchMulti performs one Algorithm 2 generation: one LCM per objective
 // in the modeling phase (refit or incremental, like genSearchSingle), then
 // per-task NSGA-II search over the vector of per-objective Expected
 // Improvements.
-func (e *Engine) genSearchMulti() ([]*engJob, error) {
+func (e *Engine) genSearchMulti(delta *PhaseStats) ([]*engJob, error) {
 	st := e.st
 	gamma := st.p.Outputs.Dim()
 	ms := st.minSamples()
 
 	t0 := st.opts.now()
 	models, transforms, fs, refit, err := st.modelPhase(gamma, ms)
-	st.stats.Modeling += st.opts.since(t0)
+	delta.Modeling += st.opts.since(t0)
 	if err != nil {
 		return nil, err
 	}
@@ -473,31 +617,26 @@ func (e *Engine) genSearchMulti() ([]*engJob, error) {
 	mpx.ParallelFor(len(st.tasks), st.opts.Workers, func(i int) {
 		newX[i] = st.searchMO(i, models, transforms, fs)
 	})
-	st.stats.Search += st.opts.since(t1)
+	delta.Search += st.opts.since(t1)
 
-	return e.jobsFromSearch(newX, "mo", ms), nil
+	return jobsFromSearch(st, newX, "mo", ms), nil
 }
 
 // jobsFromSearch flattens per-task search output into a canonical-order
 // batch. The retry seed reuses the (task·64+slot, minSamples) salt the
-// evaluation loop always used, with minSamples frozen pre-batch.
-func (e *Engine) jobsFromSearch(newX [][][]float64, phase string, ms int) []*engJob {
-	st := e.st
-	e.phase = phase
+// evaluation loop always used, with minSamples frozen pre-batch. IDs are
+// assigned at install time, under the engine mutex.
+func jobsFromSearch(st *state, newX [][][]float64, phase string, ms int) []*engJob {
 	var jobs []*engJob
 	for i := range newX {
 		for b, x := range newX[i] {
-			j := &engJob{
-				id:        e.nextID,
+			jobs = append(jobs, &engJob{
 				task:      i,
 				phase:     phase,
 				requested: x,
 				x:         x,
 				retrySeed: st.opts.Seed ^ hash2(i*64+b, ms),
-			}
-			e.nextID++
-			e.byID[j.id] = j
-			jobs = append(jobs, j)
+			})
 		}
 	}
 	return jobs

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/mpx"
 	"repro/internal/opt"
+	"repro/internal/surrogate"
 )
 
 // Options configures an MLA run.
@@ -107,6 +108,18 @@ type Options struct {
 	// Seed makes runs reproducible.
 	Seed int64
 
+	// Async takes batch generation off the request path: Suggest never runs
+	// or waits on the modeling/search phase. Instead, the Observe that
+	// commits a batch's last evaluation kicks a single background goroutine
+	// which fits the surrogate (behind ModelGate) and swaps the new batch in
+	// atomically under the engine mutex; Suggest calls that arrive while a
+	// batch is being prepared return ErrNonePending immediately. The
+	// suggestion sequence, tuning history and WAL bytes are bitwise
+	// identical to the synchronous engine's — only the blocking behavior
+	// changes. Ignored by Run/RunContext, whose batch driver is
+	// synchronous by construction.
+	Async bool
+
 	// ModelGate, when non-nil, bounds how many modeling/search generation
 	// phases run at once across every Engine sharing the gate. The tuning
 	// service hands all studies one gate so concurrent studies cannot
@@ -133,6 +146,11 @@ type Options struct {
 	// phase": before each modeling phase, the model coefficients are
 	// re-fitted against observed data. Requires Problem.Model.
 	FitModelCoeffs bool
+
+	// fitterOverride substitutes the surrogate backend directly, bypassing
+	// the registry. Test-only seam: the latency tests inject a deliberately
+	// slow fitter to prove Suggest stays off the modeling path.
+	fitterOverride surrogate.Fitter
 }
 
 // PriorSample is one pre-existing evaluation used to warm-start MLA.

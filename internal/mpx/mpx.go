@@ -171,6 +171,19 @@ func (g *Gate) Acquire() { g.slots <- struct{}{} }
 // Release frees a slot taken by Acquire.
 func (g *Gate) Release() { <-g.slots }
 
+// Go runs fn on its own goroutine, registered with wg before the goroutine
+// starts and marked done when fn returns, so the owner can always join it
+// with wg.Wait. This is the sanctioned way to run a supervised background
+// task outside a worker pool — the async engine's batch generator uses it
+// so a shutting-down service can wait out an in-flight surrogate fit.
+func Go(wg *sync.WaitGroup, fn func()) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		fn()
+	}()
+}
+
 // ParallelFor runs fn(i) for i ∈ [0, n) on up to workers goroutines and
 // blocks until all complete. workers ≤ 1 runs inline.
 func ParallelFor(n, workers int, fn func(i int)) {

@@ -136,7 +136,7 @@ func TestServeSIGKILLRestartResumes(t *testing.T) {
 	// suggestion — the in-flight evaluation a real tuner would lose.
 	paid := c1.drive("victim", tasks, killAfter)
 	var inflight suggestResponse
-	if code := c1.post("/studies/victim/suggest", nil, &inflight); code != http.StatusOK || inflight.Done {
+	if code := c1.post("/studies/victim/suggest", nil, &inflight); code != http.StatusOK || inflight.Suggestion == nil {
 		t.Fatalf("in-flight suggest: status %d done=%v", code, inflight.Done)
 	}
 

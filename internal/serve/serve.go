@@ -182,7 +182,17 @@ func (s *Server) Close() error {
 	for _, name := range names {
 		cps = append(cps, s.studies[name].cp)
 	}
+	engs := make([]*core.Engine, 0, len(names))
+	for _, name := range names {
+		engs = append(engs, s.studies[name].eng)
+	}
 	s.mu.Unlock()
+	// Async studies may have a background batch generation in flight even
+	// with all handlers drained; wait it out before closing the WAL it
+	// streams model snapshots and autofilled commits to.
+	for _, eng := range engs {
+		eng.Quiesce()
+	}
 	var first error
 	for _, cp := range cps {
 		if err := cp.Close(); err != nil && first == nil {
@@ -330,8 +340,9 @@ type studyStatus struct {
 	Surrogate    string `json:"surrogate"` // model backend the engine resolved (see surrogate.Kinds)
 	Phase        string `json:"phase"`     // engine phase: "init", "search", "mo" or "done"
 	Tasks        int    `json:"tasks"`
-	Observations int    `json:"observations"` // committed evaluations across tasks
-	Logged       int    `json:"logged"`       // records in the WAL
+	Observations int    `json:"observations"`    // committed evaluations across tasks
+	Logged       int    `json:"logged"`          // records in the WAL
+	Async        bool   `json:"async,omitempty"` // background batch generation (spec options.async)
 	Done         bool   `json:"done"`
 	Error        string `json:"error,omitempty"` // fatal engine error, if any
 }
@@ -354,6 +365,7 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		Tasks:        len(res.Tasks),
 		Observations: obs,
 		Logged:       st.cp.Logged(),
+		Async:        st.spec.Options.Async,
 		Done:         st.eng.Done(),
 	}
 	if err := st.eng.Err(); err != nil {
@@ -368,15 +380,32 @@ type suggestRequest struct {
 	Task int `json:"task"`
 }
 
-// suggestResponse carries one suggestion; exactly one of Done/Pending/the
-// suggestion fields is meaningful.
-type suggestResponse struct {
+// suggestion is the wire form of one core.Suggestion.
+type suggestion struct {
 	ID    int64     `json:"id"`
 	Task  int       `json:"task"`
 	Phase string    `json:"phase,omitempty"`
-	X     []float64 `json:"x,omitempty"`
-	Done  bool      `json:"done,omitempty"`
+	X     []float64 `json:"x"`
 }
+
+func wireSuggestion(sg core.Suggestion) *suggestion {
+	return &suggestion{ID: sg.ID, Task: sg.Task, Phase: sg.Phase, X: sg.X}
+}
+
+// suggestResponse is the POST suggest response: either Suggestion (a
+// configuration to evaluate) or Done (budget exhausted), never both. The
+// nesting is deliberate — a flat struct without omitempty once serialized a
+// done study as {"id":0,"task":0,"done":true}, indistinguishable from a
+// real task-0 suggestion to a client that ignored the done flag.
+type suggestResponse struct {
+	Suggestion *suggestion `json:"suggestion,omitempty"`
+	Done       bool        `json:"done,omitempty"`
+}
+
+// retryAfterHint is the Retry-After value (seconds) sent with the
+// ErrNonePending 409: the next batch is at most one surrogate fit away, so
+// load-test clients should back off briefly rather than hammer.
+const retryAfterHint = "1"
 
 func (s *Server) handleSuggest(w http.ResponseWriter, r *http.Request) {
 	st, ok := s.lookup(r.PathValue("study"))
@@ -389,15 +418,21 @@ func (s *Server) handleSuggest(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	if req.Task < -1 || req.Task >= len(st.spec.Tasks) {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: task %d out of range (study has %d tasks)", req.Task, len(st.spec.Tasks)))
+		return
+	}
 	sg, err := st.eng.Suggest(req.Task)
 	switch {
 	case err == nil:
-		writeJSON(w, http.StatusOK, suggestResponse{ID: sg.ID, Task: sg.Task, Phase: sg.Phase, X: sg.X})
+		writeJSON(w, http.StatusOK, suggestResponse{Suggestion: wireSuggestion(sg)})
 	case errors.Is(err, core.ErrDone):
 		writeJSON(w, http.StatusOK, suggestResponse{Done: true})
 	case errors.Is(err, core.ErrNonePending):
-		// Another client holds every outstanding configuration; retry once
-		// it reports.
+		// Every outstanding configuration is held by another client, or (on
+		// an async study) the next batch is still being generated; retry
+		// after a short backoff.
+		w.Header().Set("Retry-After", retryAfterHint)
 		writeError(w, http.StatusConflict, err)
 	default:
 		writeError(w, statusFor(err), err)
@@ -417,10 +452,10 @@ type reportRequest struct {
 // back a substitute configuration under the same ID (Retry); Terminal means
 // the configuration failed for good and the study cannot finish its batch.
 type reportResponse struct {
-	OK       bool             `json:"ok"`
-	Retry    *suggestResponse `json:"retry,omitempty"`
-	Terminal bool             `json:"terminal,omitempty"`
-	Error    string           `json:"error,omitempty"`
+	OK       bool        `json:"ok"`
+	Retry    *suggestion `json:"retry,omitempty"`
+	Terminal bool        `json:"terminal,omitempty"`
+	Error    string      `json:"error,omitempty"`
 }
 
 func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
@@ -442,10 +477,8 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 		next, err := st.eng.Fail(req.ID, cause)
 		switch {
 		case err == nil:
-			writeJSON(w, http.StatusOK, reportResponse{OK: true, Retry: &suggestResponse{
-				ID: next.ID, Task: next.Task, Phase: next.Phase, X: next.X,
-			}})
-		case strings.Contains(err.Error(), "failed after retries"):
+			writeJSON(w, http.StatusOK, reportResponse{OK: true, Retry: wireSuggestion(next)})
+		case errors.Is(err, core.ErrTerminalFailure):
 			writeJSON(w, http.StatusOK, reportResponse{OK: false, Terminal: true, Error: err.Error()})
 		default:
 			writeError(w, statusFor(err), err)
@@ -459,19 +492,22 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, reportResponse{OK: true})
 }
 
-// statusFor maps engine errors onto HTTP codes: unknown-ID and validation
-// mistakes are the client's fault, everything else (checkpoint IO, modeling
-// failures) is the server's.
+// statusFor maps engine errors onto HTTP codes via the typed sentinels core
+// exports: an unknown suggestion ID is the client's 404, a structurally
+// invalid observation its 400, and everything else (checkpoint IO, modeling
+// failures) the server's 500. Matching with errors.Is replaces the old
+// error-text substring routing, under which any server-side error whose
+// message happened to contain "returned" or "non-finite" — a checkpoint
+// path, a wrapped IO error — was misreported as the client's fault.
 func statusFor(err error) int {
-	msg := err.Error()
-	if strings.Contains(msg, "no pending suggestion") {
+	switch {
+	case errors.Is(err, core.ErrUnknownSuggestion):
 		return http.StatusNotFound
-	}
-	if strings.Contains(msg, "out of range") || strings.Contains(msg, "returned") ||
-		strings.Contains(msg, "non-finite") {
+	case errors.Is(err, core.ErrBadObservation):
 		return http.StatusBadRequest
+	default:
+		return http.StatusInternalServerError
 	}
-	return http.StatusInternalServerError
 }
 
 // taskHistory is one task's slice of the GET history/best/pareto responses.

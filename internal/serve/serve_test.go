@@ -8,8 +8,10 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/space"
@@ -84,24 +86,33 @@ func (c *testClient) get(path string, out any) int {
 
 // drive runs suggest/report cycles against a study until the budget is
 // exhausted (maxCycles < 0) or maxCycles evaluations were reported,
-// evaluating paperObjective client-side. Returns the number of evaluations
-// paid.
+// evaluating paperObjective client-side. A 409 (none pending — on an async
+// study, the next batch is still generating) backs off briefly and retries,
+// like a well-behaved client honoring Retry-After. Returns the number of
+// evaluations paid.
 func (c *testClient) drive(study string, tasks [][]float64, maxCycles int) int {
 	c.t.Helper()
 	paid := 0
 	for maxCycles < 0 || paid < maxCycles {
 		var sg suggestResponse
 		code := c.post("/studies/"+study+"/suggest", map[string]int{"task": -1}, &sg)
+		if code == http.StatusConflict {
+			time.Sleep(2 * time.Millisecond)
+			continue
+		}
 		if code != http.StatusOK {
 			c.t.Fatalf("suggest: status %d", code)
 		}
 		if sg.Done {
 			break
 		}
-		y := paperObjective(tasks[sg.Task][0], sg.X[0])
+		if sg.Suggestion == nil {
+			c.t.Fatalf("200 suggest response carries neither a suggestion nor done")
+		}
+		y := paperObjective(tasks[sg.Suggestion.Task][0], sg.Suggestion.X[0])
 		paid++
 		var rep reportResponse
-		if code := c.post("/studies/"+study+"/report", reportRequest{ID: sg.ID, Y: []float64{y}}, &rep); code != http.StatusOK {
+		if code := c.post("/studies/"+study+"/report", reportRequest{ID: sg.Suggestion.ID, Y: []float64{y}}, &rep); code != http.StatusOK {
 			c.t.Fatalf("report: status %d", code)
 		}
 		if !rep.OK {
@@ -280,16 +291,17 @@ func TestServeFailedReportRetries(t *testing.T) {
 	if code := c.post("/studies/flaky/suggest", nil, &sg); code != http.StatusOK {
 		t.Fatalf("suggest: status %d", code)
 	}
-	prev := sg.X[0]
+	id := sg.Suggestion.ID
+	prev := sg.Suggestion.X[0]
 	for attempt := 1; attempt <= 3; attempt++ {
 		var rep reportResponse
-		code := c.post("/studies/flaky/report", reportRequest{ID: sg.ID, Failed: true, Error: "node died"}, &rep)
+		code := c.post("/studies/flaky/report", reportRequest{ID: id, Failed: true, Error: "node died"}, &rep)
 		if code != http.StatusOK {
 			t.Fatalf("attempt %d: status %d", attempt, code)
 		}
 		if attempt < 3 {
-			if rep.Retry == nil || rep.Retry.ID != sg.ID {
-				t.Fatalf("attempt %d: want retry under id %d, got %+v", attempt, sg.ID, rep)
+			if rep.Retry == nil || rep.Retry.ID != id {
+				t.Fatalf("attempt %d: want retry under id %d, got %+v", attempt, id, rep)
 			}
 			if rep.Retry.X[0] == prev {
 				t.Fatalf("attempt %d: retry did not substitute a fresh configuration", attempt)
@@ -342,13 +354,13 @@ func TestServeRejectsBadRequests(t *testing.T) {
 	if code := c.post("/studies/ok/suggest", nil, &sg); code != http.StatusOK {
 		t.Fatalf("suggest: status %d", code)
 	}
-	if code := c.post("/studies/ok/report", reportRequest{ID: sg.ID, Y: []float64{1, 2}}, nil); code != http.StatusBadRequest {
+	if code := c.post("/studies/ok/report", reportRequest{ID: sg.Suggestion.ID, Y: []float64{1, 2}}, nil); code != http.StatusBadRequest {
 		t.Errorf("wrong output arity: status %d, want 400", code)
 	}
 	// JSON has no literal for Inf/NaN, so a non-finite report dies at body
 	// parsing; either way the engine never sees it.
 	resp, err := http.Post(c.base+"/studies/ok/report", "application/json",
-		bytes.NewReader([]byte(`{"id":`+fmt.Sprint(sg.ID)+`,"y":[1e999]}`)))
+		bytes.NewReader([]byte(`{"id":`+fmt.Sprint(sg.Suggestion.ID)+`,"y":[1e999]}`)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -369,8 +381,8 @@ func TestServeSuggestPerTask(t *testing.T) {
 	if code := c.post("/studies/scoped/suggest", suggestRequest{Task: 1}, &sg); code != http.StatusOK {
 		t.Fatalf("suggest task 1: status %d", code)
 	}
-	if sg.Task != 1 {
-		t.Fatalf("asked for task 1, got task %d", sg.Task)
+	if sg.Suggestion.Task != 1 {
+		t.Fatalf("asked for task 1, got task %d", sg.Suggestion.Task)
 	}
 	// Drain task 1's remaining fresh init job; the next ask then re-issues
 	// the first outstanding suggestion (crashed-client re-ask), same ID.
@@ -382,8 +394,8 @@ func TestServeSuggestPerTask(t *testing.T) {
 	if code := c.post("/studies/scoped/suggest", suggestRequest{Task: 1}, &again); code != http.StatusOK {
 		t.Fatalf("re-suggest: status %d", code)
 	}
-	if again.ID != sg.ID {
-		t.Fatalf("re-ask for task 1 returned id %d, want outstanding id %d", again.ID, sg.ID)
+	if again.Suggestion.ID != sg.Suggestion.ID {
+		t.Fatalf("re-ask for task 1 returned id %d, want outstanding id %d", again.Suggestion.ID, sg.Suggestion.ID)
 	}
 	if code := c.post("/studies/scoped/suggest", suggestRequest{Task: 99}, nil); code != http.StatusBadRequest {
 		t.Errorf("out-of-range task: status %d, want 400", code)
@@ -413,9 +425,9 @@ func TestServeMultiObjectivePareto(t *testing.T) {
 		if sg.Done {
 			break
 		}
-		x := sg.X[0]
+		x := sg.Suggestion.X[0]
 		y := []float64{x * x, (x - 1) * (x - 1)}
-		if code := c.post("/studies/mo/report", reportRequest{ID: sg.ID, Y: y}, nil); code != http.StatusOK {
+		if code := c.post("/studies/mo/report", reportRequest{ID: sg.Suggestion.ID, Y: y}, nil); code != http.StatusOK {
 			t.Fatalf("report: status %d", code)
 		}
 	}
@@ -626,6 +638,177 @@ func TestConcurrentDistinctCreates(t *testing.T) {
 	}
 	if code := c.get("/studies", &out); code != http.StatusOK || len(out.Studies) != n {
 		t.Fatalf("list: code %d, got %d studies, want %d", code, len(out.Studies), n)
+	}
+}
+
+// TestSuggestResponseEncoding pins the suggest wire format: a done response
+// is exactly {"done":true} — the old flat struct serialized it as
+// {"id":0,"task":0,"done":true}, indistinguishable from a real task-0
+// suggestion — and a real suggestion nests under "suggestion" with no done
+// flag.
+func TestSuggestResponseEncoding(t *testing.T) {
+	data, err := json.Marshal(suggestResponse{Done: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(string(data)); got != `{"done":true}` {
+		t.Errorf("done response encodes as %s, want {\"done\":true}", got)
+	}
+	data, err = json.Marshal(suggestResponse{Suggestion: &suggestion{ID: 3, Task: 1, Phase: "init", X: []float64{0.5}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var loose map[string]any
+	if err := json.Unmarshal(data, &loose); err != nil {
+		t.Fatal(err)
+	}
+	if _, hasDone := loose["done"]; hasDone {
+		t.Errorf("suggestion response leaks a done field: %s", data)
+	}
+	inner, ok := loose["suggestion"].(map[string]any)
+	if !ok {
+		t.Fatalf("suggestion response has no nested suggestion object: %s", data)
+	}
+	for _, field := range []string{"id", "task", "x"} {
+		if _, ok := inner[field]; !ok {
+			t.Errorf("nested suggestion is missing %q: %s", field, data)
+		}
+	}
+
+	// End to end: a finished study's suggest body must not contain id/task.
+	_, c := newTestServer(t)
+	if code := c.post("/studies", testSpec("enc", 2, 21), nil); code != http.StatusCreated {
+		t.Fatalf("create: status %d", code)
+	}
+	c.drive("enc", testTasks, -1)
+	resp, err := http.Post(c.base+"/studies/enc/suggest", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var raw map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&raw); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := raw["id"]; ok {
+		t.Errorf("done suggest body still carries a top-level id: %v", raw)
+	}
+	if done, _ := raw["done"].(bool); !done {
+		t.Errorf("finished study's suggest body lacks done: %v", raw)
+	}
+}
+
+// TestServeAsyncStudyParity drives an async study (options.async) to
+// completion and requires its history to match a synchronous study's
+// bitwise: background generation must change blocking behavior only, never
+// a tuning decision. It also pins the async contract's visible edges: the
+// suggest that triggers a background generation answers 409 with a
+// Retry-After hint instead of blocking out the fit.
+func TestServeAsyncStudyParity(t *testing.T) {
+	const epsTot, seed = 8, 17
+	_, c := newTestServer(t)
+
+	if code := c.post("/studies", testSpec("sync", epsTot, seed), nil); code != http.StatusCreated {
+		t.Fatalf("create sync: status %d", code)
+	}
+	c.drive("sync", testTasks, -1)
+	want := c.history("sync")
+
+	async := testSpec("async", epsTot, seed)
+	async.Options.Async = true
+	if code := c.post("/studies", async, nil); code != http.StatusCreated {
+		t.Fatalf("create async: status %d", code)
+	}
+	// The very first suggest finds no batch and kicks the background
+	// generator; the engine must answer none-pending immediately rather
+	// than wait for the initial sampling to land.
+	resp, err := http.Post(c.base+"/studies/async/suggest", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("first async suggest: status %d, want 409 while the batch generates", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Errorf("409 carries no Retry-After hint")
+	}
+
+	c.drive("async", testTasks, -1)
+	got := c.history("async")
+
+	var status studyStatus
+	if code := c.get("/studies/async", &status); code != http.StatusOK {
+		t.Fatalf("status: %d", code)
+	}
+	if !status.Async || !status.Done {
+		t.Fatalf("finished async study reports async=%v done=%v", status.Async, status.Done)
+	}
+	for ti := range want {
+		if len(got[ti].X) != len(want[ti].X) {
+			t.Fatalf("task %d: async history has %d evaluations, sync %d", ti, len(got[ti].X), len(want[ti].X))
+		}
+		for i := range want[ti].X {
+			if math.Float64bits(got[ti].X[i][0]) != math.Float64bits(want[ti].X[i][0]) ||
+				math.Float64bits(got[ti].Y[i][0]) != math.Float64bits(want[ti].Y[i][0]) {
+				t.Errorf("task %d sample %d: async history diverged from sync", ti, i)
+			}
+		}
+	}
+}
+
+// TestServeAsyncRestartResumes closes a server mid-async-study (Close must
+// quiesce the background generator before closing the WAL) and resumes it
+// in a new server, finishing with the synchronous reference history.
+func TestServeAsyncRestartResumes(t *testing.T) {
+	const epsTot, seed, killAfter = 8, 23, 9
+	_, rc := newTestServer(t)
+	if code := rc.post("/studies", testSpec("ref", epsTot, seed), nil); code != http.StatusCreated {
+		t.Fatalf("create ref: status %d", code)
+	}
+	rc.drive("ref", testTasks, -1)
+	want := rc.history("ref")
+
+	dir := t.TempDir()
+	s1, err := NewServer(Config{DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs1 := httptest.NewServer(s1.Handler())
+	c1 := &testClient{t: t, base: hs1.URL}
+	spec := testSpec("crashy", epsTot, seed)
+	spec.Options.Async = true
+	if code := c1.post("/studies", spec, nil); code != http.StatusCreated {
+		t.Fatalf("create crashy: status %d", code)
+	}
+	paid := c1.drive("crashy", testTasks, killAfter)
+	hs1.Close()
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := NewServer(Config{DataDir: dir})
+	if err != nil {
+		t.Fatalf("restart: %v", err)
+	}
+	hs2 := httptest.NewServer(s2.Handler())
+	t.Cleanup(func() { hs2.Close(); s2.Close() })
+	c2 := &testClient{t: t, base: hs2.URL}
+	paid += c2.drive("crashy", testTasks, -1)
+	if want := epsTot * len(testTasks); paid != want {
+		t.Fatalf("paid %d evaluations across the restart, want exactly %d", paid, want)
+	}
+	got := c2.history("crashy")
+	for ti := range want {
+		if len(got[ti].X) != len(want[ti].X) {
+			t.Fatalf("task %d: resumed async history has %d evaluations, want %d", ti, len(got[ti].X), len(want[ti].X))
+		}
+		for i := range want[ti].X {
+			if math.Float64bits(got[ti].X[i][0]) != math.Float64bits(want[ti].X[i][0]) ||
+				math.Float64bits(got[ti].Y[i][0]) != math.Float64bits(want[ti].Y[i][0]) {
+				t.Errorf("task %d sample %d: resumed async history diverged", ti, i)
+			}
+		}
 	}
 }
 

@@ -75,6 +75,12 @@ type OptionsSpec struct {
 	// Inducing bounds the "sgp" backend's per-task inducing set (0 = the
 	// backend default, 128).
 	Inducing int `json:"inducing,omitempty"`
+	// Async serves suggestions off the modeling path: batch generation runs
+	// in a background goroutine and suggest requests that arrive while the
+	// next batch is being fitted get an immediate 409 + Retry-After instead
+	// of blocking out the fit. The tuning history is bitwise identical to a
+	// synchronous study's. See core.Options.Async.
+	Async bool `json:"async,omitempty"`
 }
 
 // StudySpec is everything needed to (re)build a study's engine: the spaces,
@@ -181,6 +187,7 @@ func (s *StudySpec) build() (*core.Problem, [][]float64, core.Options, error) {
 		Surrogate:     o.Surrogate,
 		RefitEvery:    o.RefitEvery,
 		Inducing:      o.Inducing,
+		Async:         o.Async,
 	}
 	return prob, s.Tasks, opts, nil
 }
