@@ -8,6 +8,16 @@
 // with modeling off the request path, a suggest that lands mid-fit costs a
 // fast 409, not a surrogate fit.
 //
+// With -replicas N (> 1) it additionally benchmarks the multi-node serving
+// layer: N in-process gptuned replicas behind the consistent-hash router
+// (internal/router), one async study per replica, a fixed client pool per
+// study, and a simulated per-evaluation cost (-eval-ms) on the client side —
+// weak scaling, the regime a shared tuning service actually lives in, where
+// wall-clock is dominated by the applications running their measurements and
+// the service's job is to keep N studies' suggest/report/modeling pipelines
+// from serializing behind each other. The cluster section records the
+// single-replica baseline, the N-replica aggregate, and their ratio.
+//
 // The report is written to BENCH_SERVE.json and self-validated (non-zero
 // throughput, well-formed JSON) so a CI smoke run fails loudly instead of
 // committing an empty benchmark.
@@ -15,6 +25,7 @@
 // Usage: go run ./cmd/bench_serve [-o BENCH_SERVE.json] [-clients 2000]
 //
 //	[-eps 16] [-seed 42] [-conns 256]
+//	[-replicas 3] [-cluster-clients 8] [-cluster-eps 16] [-eval-ms 200]
 package main
 
 import (
@@ -32,6 +43,7 @@ import (
 	"time"
 
 	"repro/internal/mpx"
+	"repro/internal/router"
 	"repro/internal/serve"
 )
 
@@ -86,6 +98,34 @@ type modeReport struct {
 	SuggestMaxMs float64 `json:"suggest_max_ms"`
 }
 
+// clusterRun is one cluster configuration's aggregate measurements: n
+// replicas behind the router, one async study per replica, a fixed client
+// pool per study, every evaluation costing EvalMs client-side.
+type clusterRun struct {
+	Replicas     int     `json:"replicas"`
+	Studies      int     `json:"studies"`
+	Clients      int     `json:"clients_per_study"`
+	EvalMs       int     `json:"eval_ms"`
+	WallMs       float64 `json:"wall_ms"`
+	Requests     int64   `json:"requests"`
+	Evals        int64   `json:"evals"`
+	Conflicts    int64   `json:"conflicts"`
+	ReqPerSec    float64 `json:"req_per_sec"`
+	EvalsPerSec  float64 `json:"evals_per_sec"`
+	SuggestP50Ms float64 `json:"suggest_p50_ms"`
+	SuggestP95Ms float64 `json:"suggest_p95_ms"`
+	SuggestP99Ms float64 `json:"suggest_p99_ms"`
+}
+
+// clusterReport pairs the single-replica baseline with the N-replica run.
+// Scale is aggregate evals/s, multi over single — the near-linear-scaling
+// figure.
+type clusterReport struct {
+	Single clusterRun `json:"single"`
+	Multi  clusterRun `json:"multi"`
+	Scale  float64    `json:"scale"`
+}
+
 type report struct {
 	Config struct {
 		Clients    int    `json:"clients"`
@@ -96,8 +136,9 @@ type report struct {
 		GoVersion  string `json:"go_version"`
 		GOMAXPROCS int    `json:"gomaxprocs"`
 	} `json:"config"`
-	Sync  modeReport `json:"sync"`
-	Async modeReport `json:"async"`
+	Sync    modeReport     `json:"sync"`
+	Async   modeReport     `json:"async"`
+	Cluster *clusterReport `json:"cluster,omitempty"`
 }
 
 // stats accumulates one mode's counters; clients merge their local batches
@@ -145,10 +186,12 @@ func post(hc *http.Client, url string, body, out any) (int, error) {
 }
 
 // runClient is one tuning client's suggest→evaluate→report loop, run until
-// the study reports done. 409s (none pending) back off briefly, growing to a
-// 20ms cap; a duplicate report losing the re-issue race (404) is counted,
-// not fatal.
-func runClient(hc *http.Client, base, study string, st *stats) {
+// the study reports done. evalCost simulates the application actually
+// running the suggested configuration (a sleep — the cluster benchmark's
+// weak-scaling regime); zero means the analytical objective alone. 409s
+// (none pending) back off briefly, growing to a 20ms cap; a duplicate
+// report losing the re-issue race (404) is counted, not fatal.
+func runClient(hc *http.Client, base, study string, evalCost time.Duration, st *stats) {
 	var lat []int64
 	var requests, evals, conflicts, raced int64
 	fail := func(err error) { st.merge(lat, requests, evals, conflicts, raced, err) }
@@ -185,6 +228,9 @@ func runClient(hc *http.Client, base, study string, st *stats) {
 			fail(fmt.Errorf("200 suggest response has neither suggestion nor done"))
 			return
 		}
+		if evalCost > 0 {
+			time.Sleep(evalCost)
+		}
 		y := paperObjective(benchTasks[sg.Suggestion.Task][0], sg.Suggestion.X[0])
 		var rep reportResponse
 		code, err = post(hc, base+"/studies/"+study+"/report", reportRequest{ID: sg.Suggestion.ID, Y: []float64{y}}, &rep)
@@ -215,6 +261,22 @@ func percentileMs(sorted []int64, p float64) float64 {
 	return float64(sorted[idx]) / 1e6
 }
 
+// newHTTPClient builds a fresh client with its own transport. Each measured
+// run gets its own: reusing one client across the sync-then-async runs let
+// the second mode start with a warm idle-connection pool while the first
+// paid all TCP setup inside its measured window — the modes weren't
+// comparable.
+func newHTTPClient(conns int) *http.Client {
+	return &http.Client{
+		Timeout: 60 * time.Second,
+		Transport: &http.Transport{
+			MaxIdleConns:        conns,
+			MaxIdleConnsPerHost: conns,
+			MaxConnsPerHost:     conns,
+		},
+	}
+}
+
 // runMode creates one study (sync or async) and drives it to completion with
 // `clients` concurrent clients, returning the measurements.
 func runMode(hc *http.Client, base string, async bool, clients, eps int, seed int64) (modeReport, error) {
@@ -238,7 +300,7 @@ func runMode(hc *http.Client, base string, async bool, clients, eps int, seed in
 	var wg sync.WaitGroup
 	t0 := time.Now()
 	for c := 0; c < clients; c++ {
-		mpx.Go(&wg, func() { runClient(hc, base, name, &st) })
+		mpx.Go(&wg, func() { runClient(hc, base, name, 0, &st) })
 	}
 	wg.Wait()
 	wall := time.Since(t0)
@@ -268,6 +330,137 @@ func runMode(hc *http.Client, base string, async bool, clients, eps int, seed in
 	return m, nil
 }
 
+// benchNode is one in-process gptuned replica for the cluster benchmark.
+type benchNode struct {
+	srv *serve.Server
+	hs  *http.Server
+	ln  net.Listener
+	wg  sync.WaitGroup
+}
+
+func startBenchNode(dir string) (*benchNode, error) {
+	srv, err := serve.NewServer(serve.Config{DataDir: dir})
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		srv.Close()
+		return nil, err
+	}
+	n := &benchNode{srv: srv, ln: ln, hs: &http.Server{Handler: srv.Handler()}}
+	mpx.Go(&n.wg, func() { _ = n.hs.Serve(n.ln) })
+	return n, nil
+}
+
+func (n *benchNode) url() string { return "http://" + n.ln.Addr().String() }
+
+func (n *benchNode) stop() {
+	_ = n.hs.Close()
+	n.wg.Wait()
+	_ = n.srv.Close()
+}
+
+// runCluster benchmarks n replicas behind the router: one async study per
+// replica (RefitEvery=4 — the production posture for a study under load),
+// `clients` concurrent clients per study, each evaluation costing evalMs
+// client-side. Returns aggregate throughput/latency across all studies.
+func runCluster(dir string, n, clients, eps, evalMs int, seed int64) (clusterRun, error) {
+	nodes := make([]*benchNode, 0, n)
+	defer func() {
+		for _, nd := range nodes {
+			nd.stop()
+		}
+	}()
+	urls := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		nd, err := startBenchNode(fmt.Sprintf("%s/node%d", dir, i))
+		if err != nil {
+			return clusterRun{}, err
+		}
+		nodes = append(nodes, nd)
+		urls = append(urls, nd.url())
+	}
+	rt, err := router.New(router.Config{Replicas: urls, ProbeEvery: 200 * time.Millisecond})
+	if err != nil {
+		return clusterRun{}, err
+	}
+	rt.Start()
+	defer rt.Stop()
+	rln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return clusterRun{}, err
+	}
+	rhs := &http.Server{Handler: rt.Handler()}
+	var rwg sync.WaitGroup
+	mpx.Go(&rwg, func() { _ = rhs.Serve(rln) })
+	defer func() {
+		_ = rhs.Close()
+		rwg.Wait()
+	}()
+	base := "http://" + rln.Addr().String()
+
+	hc := newHTTPClient(n*clients + n)
+	defer hc.CloseIdleConnections()
+
+	// One study per replica; the router's consistent hashing decides which
+	// replica hosts which study, and with rendezvous balance n studies land
+	// one-per-node often enough that the aggregate exercises every replica.
+	studies := make([]string, n)
+	for i := range studies {
+		studies[i] = fmt.Sprintf("bench-cluster-%d", i)
+		spec := serve.StudySpec{
+			Name:       studies[i],
+			TaskParams: []serve.ParamSpec{{Name: "t", Kind: "real", Lo: 0, Hi: 10}},
+			Tuning:     []serve.ParamSpec{{Name: "x", Kind: "real", Lo: 0, Hi: 1}},
+			Outputs:    []string{"y"},
+			Tasks:      benchTasks,
+			Options: serve.OptionsSpec{
+				EpsTot: eps, Seed: seed + int64(i), Workers: 1,
+				Async: true, RefitEvery: 4,
+			},
+		}
+		if code, err := post(hc, base+"/studies", spec, nil); err != nil || code != http.StatusCreated {
+			return clusterRun{}, fmt.Errorf("creating study %s: status %d, %v", studies[i], code, err)
+		}
+	}
+
+	var st stats
+	var wg sync.WaitGroup
+	t0 := time.Now()
+	for _, study := range studies {
+		study := study
+		for c := 0; c < clients; c++ {
+			mpx.Go(&wg, func() { runClient(hc, base, study, time.Duration(evalMs)*time.Millisecond, &st) })
+		}
+	}
+	wg.Wait()
+	wall := time.Since(t0)
+	if st.err != nil {
+		return clusterRun{}, fmt.Errorf("cluster n=%d: %w", n, st.err)
+	}
+	wantEvals := int64(n * eps * len(benchTasks))
+	if st.evals != wantEvals {
+		return clusterRun{}, fmt.Errorf("cluster n=%d committed %d evaluations, want %d", n, st.evals, wantEvals)
+	}
+	sort.Slice(st.latNs, func(i, j int) bool { return st.latNs[i] < st.latNs[j] })
+	return clusterRun{
+		Replicas:     n,
+		Studies:      n,
+		Clients:      clients,
+		EvalMs:       evalMs,
+		WallMs:       float64(wall.Nanoseconds()) / 1e6,
+		Requests:     st.requests,
+		Evals:        st.evals,
+		Conflicts:    st.conflicts,
+		ReqPerSec:    float64(st.requests) / wall.Seconds(),
+		EvalsPerSec:  float64(st.evals) / wall.Seconds(),
+		SuggestP50Ms: percentileMs(st.latNs, 0.50),
+		SuggestP95Ms: percentileMs(st.latNs, 0.95),
+		SuggestP99Ms: percentileMs(st.latNs, 0.99),
+	}, nil
+}
+
 // validate re-reads the written report and checks the CI smoke contract:
 // well-formed JSON, non-zero throughput and evaluations in both modes.
 func validate(path string) error {
@@ -289,6 +482,12 @@ func validate(path string) error {
 				path, mode, m.ReqPerSec, m.Evals, m.SuggestP50Ms)
 		}
 	}
+	if c := rep.Cluster; c != nil {
+		if c.Single.EvalsPerSec <= 0 || c.Multi.EvalsPerSec <= 0 || c.Scale <= 0 {
+			return fmt.Errorf("%s: cluster section recorded zero throughput (single=%v multi=%v scale=%v)",
+				path, c.Single.EvalsPerSec, c.Multi.EvalsPerSec, c.Scale)
+		}
+	}
 	return nil
 }
 
@@ -298,6 +497,10 @@ func run() error {
 	conns := flag.Int("conns", 0, "TCP connections the clients share (MaxConnsPerHost); 0 = one per client")
 	eps := flag.Int("eps", 16, "evaluation budget per task (eps_tot)")
 	seed := flag.Int64("seed", 42, "study seed")
+	replicas := flag.Int("replicas", 0, "cluster mode: replicas behind the router (0 = skip the cluster benchmark)")
+	clusterClients := flag.Int("cluster-clients", 8, "cluster mode: concurrent clients per study")
+	clusterEps := flag.Int("cluster-eps", 16, "cluster mode: evaluation budget per task")
+	evalMs := flag.Int("eval-ms", 200, "cluster mode: simulated client-side evaluation cost per suggestion")
 	flag.Parse()
 	if *clients < 1 {
 		*clients = 1
@@ -329,18 +532,6 @@ func run() error {
 	}()
 	base := "http://" + ln.Addr().String()
 
-	// One connection per client by default, so suggest latency measures the
-	// server, not client-side pool queueing; -conns bounds the pool when the
-	// descriptor budget is tighter than the client count.
-	hc := &http.Client{
-		Timeout: 60 * time.Second,
-		Transport: &http.Transport{
-			MaxIdleConns:        *conns,
-			MaxIdleConnsPerHost: *conns,
-			MaxConnsPerHost:     *conns,
-		},
-	}
-
 	var rep report
 	rep.Config.Clients = *clients
 	rep.Config.Conns = *conns
@@ -350,16 +541,48 @@ func run() error {
 	rep.Config.GoVersion = runtime.Version()
 	rep.Config.GOMAXPROCS = runtime.GOMAXPROCS(0)
 
-	if rep.Sync, err = runMode(hc, base, false, *clients, *eps, *seed); err != nil {
+	// One connection per client by default, so suggest latency measures the
+	// server, not client-side pool queueing; -conns bounds the pool when the
+	// descriptor budget is tighter than the client count. Each mode gets a
+	// FRESH client and transport: a shared one handed the second mode a warm
+	// idle-connection pool while the first paid all TCP setup inside its
+	// measured window.
+	hcSync := newHTTPClient(*conns)
+	if rep.Sync, err = runMode(hcSync, base, false, *clients, *eps, *seed); err != nil {
 		return err
 	}
+	hcSync.CloseIdleConnections()
 	fmt.Printf("sync:  %.0f req/s, suggest p50=%.2fms p95=%.2fms p99=%.2fms max=%.2fms\n",
 		rep.Sync.ReqPerSec, rep.Sync.SuggestP50Ms, rep.Sync.SuggestP95Ms, rep.Sync.SuggestP99Ms, rep.Sync.SuggestMaxMs)
-	if rep.Async, err = runMode(hc, base, true, *clients, *eps, *seed); err != nil {
+	hcAsync := newHTTPClient(*conns)
+	if rep.Async, err = runMode(hcAsync, base, true, *clients, *eps, *seed); err != nil {
 		return err
 	}
+	hcAsync.CloseIdleConnections()
 	fmt.Printf("async: %.0f req/s, suggest p50=%.2fms p95=%.2fms p99=%.2fms max=%.2fms\n",
 		rep.Async.ReqPerSec, rep.Async.SuggestP50Ms, rep.Async.SuggestP95Ms, rep.Async.SuggestP99Ms, rep.Async.SuggestMaxMs)
+
+	if *replicas > 1 {
+		cdir, err := os.MkdirTemp("", "bench_serve_cluster")
+		if err != nil {
+			return err
+		}
+		defer func() { _ = os.RemoveAll(cdir) }()
+		single, err := runCluster(cdir+"/single", 1, *clusterClients, *clusterEps, *evalMs, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("cluster n=1: %.1f evals/s, suggest p50=%.2fms p99=%.2fms\n",
+			single.EvalsPerSec, single.SuggestP50Ms, single.SuggestP99Ms)
+		multi, err := runCluster(cdir+"/multi", *replicas, *clusterClients, *clusterEps, *evalMs, *seed)
+		if err != nil {
+			return err
+		}
+		scale := multi.EvalsPerSec / single.EvalsPerSec
+		fmt.Printf("cluster n=%d: %.1f evals/s, suggest p50=%.2fms p99=%.2fms — %.2fx the single-replica aggregate\n",
+			*replicas, multi.EvalsPerSec, multi.SuggestP50Ms, multi.SuggestP99Ms, scale)
+		rep.Cluster = &clusterReport{Single: single, Multi: multi, Scale: scale}
+	}
 
 	buf, err := json.MarshalIndent(&rep, "", "  ")
 	if err != nil {

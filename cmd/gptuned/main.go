@@ -65,19 +65,40 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	//gptlint:ignore goroutine-leak process-lifetime watcher; exits with the signal context and needs no join
-	go func() { //gptlint:ignore no-stray-goroutines shutdown watcher; joined via the errors it forces out of ListenAndServe
+	drained := make(chan struct{})
+	go func() { //gptlint:ignore no-stray-goroutines shutdown watcher; joined via the drained channel before the WALs close
+		defer close(drained)
 		<-ctx.Done()
+		// Flip /healthz to 503 before draining so a router stops routing
+		// work here while the existing handlers finish.
+		srv.BeginDrain()
 		dctx, cancel := context.WithTimeout(context.Background(), *drainFor)
 		defer cancel()
 		// Shutdown drains in-flight handlers (including modeling-phase
-		// suggests) before ListenAndServe returns; only then is it safe to
-		// close the study WALs.
-		_ = hs.Shutdown(dctx)
+		// suggests); only once they are gone is it safe to close the study
+		// WALs. ListenAndServe returns the moment Shutdown *begins*, so
+		// main must wait on this goroutine, not on ListenAndServe alone —
+		// otherwise srv.Close races handlers still committing to the WALs.
+		if serr := hs.Shutdown(dctx); serr != nil {
+			// Drain deadline expired with connections still open: force
+			// them closed so no handler outlives this point. Their clients
+			// see aborted requests; every evaluation already acked is on
+			// disk, and a late commit hits the closed WAL's clean error
+			// instead of racing the teardown.
+			fmt.Fprintln(os.Stderr, "gptuned: drain deadline expired, forcing connections closed:", serr)
+			if cerr := hs.Close(); cerr != nil {
+				fmt.Fprintln(os.Stderr, "gptuned: forced close:", cerr)
+			}
+		}
 	}()
 
 	fmt.Println("gptuned: listening on", *addr, "data in", *data)
 	err = hs.ListenAndServe()
+	if err == http.ErrServerClosed {
+		// Graceful path: wait for the watcher to finish draining (or force-
+		// closing) every handler before touching the WALs.
+		<-drained
+	}
 	if cerr := srv.Close(); err == nil || err == http.ErrServerClosed {
 		err = cerr
 	}

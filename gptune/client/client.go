@@ -1,0 +1,457 @@
+// Package client is the typed Go client for the gptuned HTTP API. It speaks
+// the full surface — create, suggest, report, best, pareto, history, status,
+// snapshot export/import — over a reused connection pool with per-call
+// timeouts and bounded exponential backoff, and it surfaces the engine's
+// sentinel conditions as the same error values the in-process API uses:
+// errors.Is(err, client.ErrDone) and errors.Is(err, client.ErrNonePending)
+// hold exactly when they would against a local core.Engine, so the
+// suggest/evaluate/report loop is written once and runs against either.
+//
+// Given more than one replica, the client consistent-hash routes every
+// study-scoped call to the study's owner (internal/ring, rendezvous
+// hashing): any client or router configured with the same replica set
+// computes the same owner with no coordination. Cluster-scoped calls
+// (Studies) fan out and merge.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/gptune"
+	"repro/internal/ring"
+	"repro/internal/serve"
+)
+
+// Spec types are aliased from the serving layer so a spec literal compiles
+// identically against the server, the client, and the on-disk format.
+type (
+	StudySpec   = serve.StudySpec
+	ParamSpec   = serve.ParamSpec
+	OptionsSpec = serve.OptionsSpec
+)
+
+// ErrDone and ErrNonePending are aliases of the facade's sentinels (which
+// are themselves core's): a remote study reports budget exhaustion and
+// nothing-pending through the same values a local Engine returns.
+var (
+	ErrDone        = gptune.ErrDone
+	ErrNonePending = gptune.ErrNonePending
+)
+
+// APIError is a non-sentinel server response: the HTTP status plus the
+// error string from the JSON body. Suggest/Report map the sentinel cases
+// (done, none-pending) before this surfaces, so an APIError always means
+// something genuinely went wrong (bad spec, unknown study, server fault).
+type APIError struct {
+	Status  int
+	Message string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("gptuned: %s (HTTP %d)", e.Message, e.Status)
+}
+
+// Suggestion is one configuration to evaluate, as handed out by the server.
+type Suggestion struct {
+	ID    int64     `json:"id"`
+	Task  int       `json:"task"`
+	Phase string    `json:"phase,omitempty"`
+	X     []float64 `json:"x"`
+}
+
+// Status mirrors GET /studies/{study}.
+type Status struct {
+	Name         string `json:"name"`
+	Surrogate    string `json:"surrogate"`
+	Phase        string `json:"phase"`
+	Tasks        int    `json:"tasks"`
+	Observations int    `json:"observations"`
+	Logged       int    `json:"logged"`
+	Async        bool   `json:"async,omitempty"`
+	Done         bool   `json:"done"`
+	Error        string `json:"error,omitempty"`
+}
+
+// TaskHistory is one task's evaluations (history and pareto responses).
+type TaskHistory struct {
+	Task []float64   `json:"task"`
+	X    [][]float64 `json:"x"`
+	Y    [][]float64 `json:"y"`
+}
+
+// BestEntry is one task's incumbent for objective 0.
+type BestEntry struct {
+	Task []float64 `json:"task"`
+	X    []float64 `json:"x,omitempty"`
+	Y    []float64 `json:"y,omitempty"`
+}
+
+// StudyArchive is a study in transfer form (GET snapshot / POST import):
+// spec plus a consistent WAL snapshot+log byte pair.
+type StudyArchive struct {
+	Spec     StudySpec `json:"spec"`
+	Snapshot []byte    `json:"snapshot,omitempty"`
+	WAL      []byte    `json:"wal,omitempty"`
+	Logged   int       `json:"logged"`
+}
+
+// Config configures a Client.
+type Config struct {
+	// Replicas lists the gptuned base URLs ("http://host:port"). One
+	// replica means no routing; more mean study-scoped calls go to the
+	// study's consistent-hash owner. Required.
+	Replicas []string
+	// HTTPClient overrides the transport; nil builds one http.Client shared
+	// by every call, so connections are pooled and reused.
+	HTTPClient *http.Client
+	// Timeout bounds each HTTP attempt (not the whole retry loop).
+	// Default 30s — sync suggests legitimately block through a modeling
+	// phase.
+	Timeout time.Duration
+	// MaxRetries bounds retries after the first attempt. Default 4.
+	MaxRetries int
+	// BaseBackoff is the first retry delay, doubled per retry up to
+	// MaxBackoff, each draw jittered uniformly over [½d, d). Defaults
+	// 100ms / 5s.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// JitterSeed seeds the backoff jitter; the zero seed is used as-is
+	// (deterministic tests pin it, production varies it per process).
+	JitterSeed int64
+}
+
+// Client is a gptuned API client. Safe for concurrent use.
+type Client struct {
+	cfg  Config
+	ring *ring.Ring
+	hc   *http.Client
+
+	mu  sync.Mutex // guards rng
+	rng *rand.Rand
+}
+
+// New builds a client over one or more gptuned replicas.
+func New(cfg Config) (*Client, error) {
+	r := ring.New(cfg.Replicas...)
+	if r.Len() == 0 {
+		return nil, errors.New("client: Config.Replicas is required")
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 30 * time.Second
+	}
+	if cfg.MaxRetries < 0 {
+		cfg.MaxRetries = 0
+	} else if cfg.MaxRetries == 0 {
+		cfg.MaxRetries = 4
+	}
+	if cfg.BaseBackoff <= 0 {
+		cfg.BaseBackoff = 100 * time.Millisecond
+	}
+	if cfg.MaxBackoff <= 0 {
+		cfg.MaxBackoff = 5 * time.Second
+	}
+	hc := cfg.HTTPClient
+	if hc == nil {
+		hc = &http.Client{}
+	}
+	return &Client{cfg: cfg, ring: r, hc: hc, rng: rand.New(rand.NewSource(cfg.JitterSeed))}, nil
+}
+
+// Owner returns the replica base URL a study routes to.
+func (c *Client) Owner(study string) string {
+	o, _ := c.ring.Owner(study)
+	return o
+}
+
+// Replicas returns the configured replica set (sorted, deduplicated).
+func (c *Client) Replicas() []string { return c.ring.Nodes() }
+
+// Create registers a new study on its owning replica.
+func (c *Client) Create(ctx context.Context, spec StudySpec) error {
+	return c.call(ctx, http.MethodPost, c.Owner(spec.Name), "/studies", spec, nil, false)
+}
+
+// Suggest asks the study's replica for the next configuration of task
+// (task = -1 means any). Semantics mirror core.Engine.Suggest: ErrDone when
+// the budget is exhausted, ErrNonePending when — after the retry budget,
+// honoring the server's Retry-After hints — no configuration is available.
+func (c *Client) Suggest(ctx context.Context, study string, task int) (Suggestion, error) {
+	var resp struct {
+		Suggestion *Suggestion `json:"suggestion,omitempty"`
+		Done       bool        `json:"done,omitempty"`
+	}
+	err := c.call(ctx, http.MethodPost, c.Owner(study), "/studies/"+study+"/suggest",
+		map[string]int{"task": task}, &resp, true)
+	if err != nil {
+		return Suggestion{}, err
+	}
+	if resp.Done {
+		return Suggestion{}, ErrDone
+	}
+	if resp.Suggestion == nil {
+		return Suggestion{}, &APIError{Status: http.StatusOK, Message: "suggest response carries neither a suggestion nor done"}
+	}
+	return *resp.Suggestion, nil
+}
+
+// Report delivers a measurement for a suggestion ID.
+func (c *Client) Report(ctx context.Context, study string, id int64, y []float64) error {
+	var resp struct {
+		OK    bool   `json:"ok"`
+		Error string `json:"error,omitempty"`
+	}
+	err := c.call(ctx, http.MethodPost, c.Owner(study), "/studies/"+study+"/report",
+		map[string]any{"id": id, "y": y}, &resp, false)
+	if err != nil {
+		return err
+	}
+	if !resp.OK {
+		return &APIError{Status: http.StatusOK, Message: "report not acknowledged: " + resp.Error}
+	}
+	return nil
+}
+
+// ReportFailure tells the server an evaluation errored. The server may hand
+// back a substitute configuration under the same ID; terminal=true means
+// the configuration failed for good.
+func (c *Client) ReportFailure(ctx context.Context, study string, id int64, cause string) (retry *Suggestion, terminal bool, err error) {
+	var resp struct {
+		OK       bool        `json:"ok"`
+		Retry    *Suggestion `json:"retry,omitempty"`
+		Terminal bool        `json:"terminal,omitempty"`
+		Error    string      `json:"error,omitempty"`
+	}
+	err = c.call(ctx, http.MethodPost, c.Owner(study), "/studies/"+study+"/report",
+		map[string]any{"id": id, "failed": true, "error": cause}, &resp, false)
+	if err != nil {
+		return nil, false, err
+	}
+	return resp.Retry, resp.Terminal, nil
+}
+
+// Status fetches a study's progress.
+func (c *Client) Status(ctx context.Context, study string) (Status, error) {
+	var st Status
+	err := c.call(ctx, http.MethodGet, c.Owner(study), "/studies/"+study, nil, &st, false)
+	return st, err
+}
+
+// History fetches a study's full evaluation history per task.
+func (c *Client) History(ctx context.Context, study string) ([]TaskHistory, error) {
+	var resp struct {
+		Tasks []TaskHistory `json:"tasks"`
+	}
+	err := c.call(ctx, http.MethodGet, c.Owner(study), "/studies/"+study+"/history", nil, &resp, false)
+	return resp.Tasks, err
+}
+
+// Best fetches each task's incumbent for objective 0.
+func (c *Client) Best(ctx context.Context, study string) ([]BestEntry, error) {
+	var resp struct {
+		Tasks []BestEntry `json:"tasks"`
+	}
+	err := c.call(ctx, http.MethodGet, c.Owner(study), "/studies/"+study+"/best", nil, &resp, false)
+	return resp.Tasks, err
+}
+
+// Pareto fetches each task's non-dominated set.
+func (c *Client) Pareto(ctx context.Context, study string) ([]TaskHistory, error) {
+	var resp struct {
+		Tasks []TaskHistory `json:"tasks"`
+	}
+	err := c.call(ctx, http.MethodGet, c.Owner(study), "/studies/"+study+"/pareto", nil, &resp, false)
+	return resp.Tasks, err
+}
+
+// Snapshot exports a study from the replica holding it for migration.
+func (c *Client) Snapshot(ctx context.Context, study string) (StudyArchive, error) {
+	return c.SnapshotFrom(ctx, c.Owner(study), study)
+}
+
+// SnapshotFrom exports a study from a specific replica — the recovery path,
+// where the study's data may sit on a node the ring no longer owns it to.
+func (c *Client) SnapshotFrom(ctx context.Context, replica, study string) (StudyArchive, error) {
+	var arc StudyArchive
+	err := c.call(ctx, http.MethodGet, replica, "/studies/"+study+"/snapshot", nil, &arc, false)
+	return arc, err
+}
+
+// Import re-homes an archived study onto a replica (the archive's ring
+// owner by default; see ImportTo for explicit placement).
+func (c *Client) Import(ctx context.Context, arc StudyArchive) error {
+	return c.ImportTo(ctx, c.Owner(arc.Spec.Name), arc)
+}
+
+// ImportTo imports an archive onto a specific replica.
+func (c *Client) ImportTo(ctx context.Context, replica string, arc StudyArchive) error {
+	return c.call(ctx, http.MethodPost, replica, "/studies/import", arc, nil, false)
+}
+
+// Studies lists study names across every replica, merged and sorted.
+func (c *Client) Studies(ctx context.Context) ([]string, error) {
+	seen := make(map[string]bool)
+	var firstErr error
+	for _, rep := range c.ring.Nodes() {
+		var resp struct {
+			Studies []string `json:"studies"`
+		}
+		if err := c.call(ctx, http.MethodGet, rep, "/studies", nil, &resp, false); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		for _, s := range resp.Studies {
+			seen[s] = true
+		}
+	}
+	if len(seen) == 0 && firstErr != nil {
+		return nil, firstErr
+	}
+	out := make([]string, 0, len(seen))
+	for s := range seen {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// call runs one API call with the retry policy: transport errors and 503s
+// (a draining or restarting replica) always retry; 409 retries only when
+// retry409 is set (suggest's none-pending, where the server's Retry-After
+// hint schedules the next attempt — on create/import a 409 is a duplicate
+// study and retrying cannot help). Each attempt gets its own Timeout.
+// Exhausting the budget on a 409 returns ErrNonePending; on a 503 or
+// transport error, the last underlying error.
+func (c *Client) call(ctx context.Context, method, replica, path string, in, out any, retry409 bool) error {
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		status, retryAfter, errMsg, err := c.attempt(ctx, method, replica, path, in, out)
+		switch {
+		case err == nil && status < 400:
+			return nil
+		case err == nil && status == http.StatusConflict && retry409:
+			lastErr = ErrNonePending
+		case err == nil && status == http.StatusServiceUnavailable:
+			if errMsg == "" {
+				errMsg = "replica unavailable"
+			}
+			lastErr = &APIError{Status: status, Message: errMsg}
+		case err == nil:
+			if errMsg == "" {
+				errMsg = "request " + path + " failed"
+			}
+			return &APIError{Status: status, Message: errMsg}
+		default:
+			// Transport error (connection refused/reset, timeout). A reset
+			// mid-body surfaces here too: retry — every mutating call on
+			// this API is idempotent-or-conflicting, never double-applied
+			// (a duplicate report of the same ID is acknowledged without
+			// re-commit; a duplicate create conflicts).
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			lastErr = err
+		}
+		if attempt >= c.cfg.MaxRetries {
+			return lastErr
+		}
+		if err := c.sleep(ctx, attempt, retryAfter); err != nil {
+			return err
+		}
+	}
+}
+
+// attempt performs one HTTP round trip under its own Timeout. For statuses
+// < 400 the body decodes into out; for error statuses the JSON error body's
+// message comes back in errMsg with the body fully drained, so the pooled
+// connection stays reusable.
+func (c *Client) attempt(ctx context.Context, method, replica, path string, in, out any) (status int, retryAfter, errMsg string, err error) {
+	actx, cancel := context.WithTimeout(ctx, c.cfg.Timeout)
+	defer cancel()
+	var body io.Reader
+	if in != nil {
+		data, merr := json.Marshal(in)
+		if merr != nil {
+			return 0, "", "", merr
+		}
+		body = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(actx, method, replica+path, body)
+	if err != nil {
+		return 0, "", "", err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return 0, "", "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		var eb struct {
+			Error string `json:"error"`
+		}
+		_ = json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&eb)
+		return resp.StatusCode, resp.Header.Get("Retry-After"), eb.Error, nil
+	}
+	if out != nil {
+		if derr := json.NewDecoder(resp.Body).Decode(out); derr != nil {
+			// A connection reset mid-body lands here: the request may have
+			// been applied server-side, but re-issuing is safe (see call).
+			return 0, "", "", fmt.Errorf("client: decoding %s response: %w", path, derr)
+		}
+	} else {
+		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+	}
+	return resp.StatusCode, "", "", nil
+}
+
+// sleep blocks for the attempt's backoff: the server's Retry-After hint in
+// seconds when present (a "0" means retry immediately), else exponential
+// from BaseBackoff capped at MaxBackoff; either way jittered over [½d, d)
+// so a fleet of clients released by the same batch install doesn't
+// stampede. Returns early with the context's error if it is canceled.
+func (c *Client) sleep(ctx context.Context, attempt int, retryAfter string) error {
+	var d time.Duration
+	if secs, err := strconv.Atoi(retryAfter); err == nil && secs >= 0 {
+		d = time.Duration(secs) * time.Second
+		if d == 0 {
+			// "Retry immediately" still yields a beat so a 1-CPU server's
+			// background generation can run.
+			d = c.cfg.BaseBackoff / 4
+		}
+	} else {
+		d = c.cfg.BaseBackoff << uint(attempt)
+		if d > c.cfg.MaxBackoff || d <= 0 {
+			d = c.cfg.MaxBackoff
+		}
+	}
+	c.mu.Lock()
+	jitter := c.rng.Float64()
+	c.mu.Unlock()
+	d = d/2 + time.Duration(jitter*float64(d/2))
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

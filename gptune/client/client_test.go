@@ -1,0 +1,330 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/ring"
+	"repro/internal/serve"
+)
+
+func testCfg(replicas ...string) Config {
+	return Config{
+		Replicas:    replicas,
+		Timeout:     5 * time.Second,
+		MaxRetries:  3,
+		BaseBackoff: time.Millisecond,
+		MaxBackoff:  4 * time.Millisecond,
+		JitterSeed:  1,
+	}
+}
+
+func testSpec(name string, epsTot int) StudySpec {
+	return StudySpec{
+		Name:       name,
+		TaskParams: []ParamSpec{{Name: "t", Kind: "real", Lo: 0, Hi: 10}},
+		Tuning:     []ParamSpec{{Name: "x", Kind: "real", Lo: 0, Hi: 1}},
+		Outputs:    []string{"y"},
+		Tasks:      [][]float64{{0}, {1.5}},
+		Options:    OptionsSpec{EpsTot: epsTot, Seed: 11, Workers: 1},
+	}
+}
+
+// countingHandler answers a scripted status sequence for suggest, then a
+// real suggestion, counting requests.
+type countingHandler struct {
+	mu       sync.Mutex
+	statuses []int // statuses to answer before succeeding
+	requests int
+}
+
+func (h *countingHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.requests++
+	if len(h.statuses) > 0 {
+		code := h.statuses[0]
+		h.statuses = h.statuses[1:]
+		if code == http.StatusConflict {
+			w.Header().Set("Retry-After", "0")
+		}
+		w.WriteHeader(code)
+		fmt.Fprintf(w, `{"error":"scripted %d"}`, code)
+		return
+	}
+	fmt.Fprint(w, `{"suggestion":{"id":7,"task":0,"phase":"search","x":[0.5]}}`)
+}
+
+// TestSuggestRetriesThrough409: two 409-with-Retry-After answers (async
+// generation in flight) must be retried away transparently, like a
+// well-behaved client honoring the hint.
+func TestSuggestRetriesThrough409(t *testing.T) {
+	h := &countingHandler{statuses: []int{http.StatusConflict, http.StatusConflict}}
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	c, err := New(testCfg(srv.URL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sg, err := c.Suggest(context.Background(), "s", -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sg.ID != 7 || sg.X[0] != 0.5 {
+		t.Fatalf("suggestion: %+v", sg)
+	}
+	if h.requests != 3 {
+		t.Fatalf("made %d requests, want 3", h.requests)
+	}
+}
+
+// TestSuggestExhausted409IsErrNonePending: a study whose batch never frees
+// up within the retry budget surfaces the same sentinel a local engine
+// returns, so callers' errors.Is logic is transport-agnostic.
+func TestSuggestExhausted409IsErrNonePending(t *testing.T) {
+	h := &countingHandler{statuses: []int{409, 409, 409, 409, 409, 409, 409}}
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	c, err := New(testCfg(srv.URL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Suggest(context.Background(), "s", -1)
+	if !errors.Is(err, ErrNonePending) {
+		t.Fatalf("got %v, want ErrNonePending", err)
+	}
+	if h.requests != 4 { // first attempt + MaxRetries
+		t.Fatalf("made %d requests, want 4", h.requests)
+	}
+}
+
+// TestRetryOn503Draining: a draining replica (503) is retried — it comes
+// back after a rolling restart — and succeeds once healthy.
+func TestRetryOn503Draining(t *testing.T) {
+	h := &countingHandler{statuses: []int{http.StatusServiceUnavailable, http.StatusServiceUnavailable}}
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	c, err := New(testCfg(srv.URL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Suggest(context.Background(), "s", -1); err != nil {
+		t.Fatalf("suggest through 503s: %v", err)
+	}
+	if h.requests != 3 {
+		t.Fatalf("made %d requests, want 3", h.requests)
+	}
+}
+
+// TestConnectionResetMidBodyRetries: a replica dying mid-response (partial
+// JSON body, connection closed) must be retried, not surfaced as a decode
+// error.
+func TestConnectionResetMidBodyRetries(t *testing.T) {
+	var mu sync.Mutex
+	calls := 0
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		calls++
+		first := calls == 1
+		mu.Unlock()
+		if first {
+			hj, ok := w.(http.Hijacker)
+			if !ok {
+				t.Fatal("recorder not hijackable")
+			}
+			conn, buf, err := hj.Hijack()
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Status line + truncated body, then a hard close: the client
+			// sees a reset mid-body.
+			buf.WriteString("HTTP/1.1 200 OK\r\nContent-Type: application/json\r\nContent-Length: 60\r\n\r\n{\"suggestion\":{\"id\":7,")
+			buf.Flush()
+			conn.Close()
+			return
+		}
+		fmt.Fprint(w, `{"suggestion":{"id":7,"task":0,"x":[0.5]}}`)
+	}))
+	defer srv.Close()
+	c, err := New(testCfg(srv.URL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sg, err := c.Suggest(context.Background(), "s", -1)
+	if err != nil {
+		t.Fatalf("suggest through mid-body reset: %v", err)
+	}
+	if sg.ID != 7 {
+		t.Fatalf("suggestion: %+v", sg)
+	}
+}
+
+// TestDoneIsErrDone: {"done":true} maps to the ErrDone sentinel.
+func TestDoneIsErrDone(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `{"done":true}`)
+	}))
+	defer srv.Close()
+	c, err := New(testCfg(srv.URL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Suggest(context.Background(), "s", -1); !errors.Is(err, ErrDone) {
+		t.Fatalf("got %v, want ErrDone", err)
+	}
+}
+
+// TestCreateConflictNotRetried: a duplicate-study 409 is a real answer, not
+// contention — exactly one request, surfaced as an APIError.
+func TestCreateConflictNotRetried(t *testing.T) {
+	h := &countingHandler{statuses: []int{409, 409, 409}}
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	c, err := New(testCfg(srv.URL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = c.Create(context.Background(), testSpec("dup", 4))
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusConflict {
+		t.Fatalf("got %v, want 409 APIError", err)
+	}
+	if h.requests != 1 {
+		t.Fatalf("made %d requests, want 1 (409 on create must not retry)", h.requests)
+	}
+}
+
+// TestRoutingToOwner: with several replicas, every study-scoped call lands
+// on the study's rendezvous owner — the invariant that lets clients and the
+// router agree on placement with no coordination.
+func TestRoutingToOwner(t *testing.T) {
+	const replicas = 3
+	hits := make([]map[string]int, replicas)
+	urls := make([]string, replicas)
+	var mu sync.Mutex
+	for i := 0; i < replicas; i++ {
+		i := i
+		hits[i] = make(map[string]int)
+		mux := http.NewServeMux()
+		mux.HandleFunc("GET /studies/{study}", func(w http.ResponseWriter, r *http.Request) {
+			mu.Lock()
+			hits[i][r.PathValue("study")]++
+			mu.Unlock()
+			fmt.Fprint(w, `{"name":"x","phase":"init","done":false}`)
+		})
+		srv := httptest.NewServer(mux)
+		defer srv.Close()
+		urls[i] = srv.URL
+	}
+	c, err := New(testCfg(urls...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rg := ring.New(urls...)
+	for s := 0; s < 20; s++ {
+		study := fmt.Sprintf("study-%d", s)
+		if _, err := c.Status(context.Background(), study); err != nil {
+			t.Fatal(err)
+		}
+		owner, _ := rg.Owner(study)
+		if got := c.Owner(study); got != owner {
+			t.Fatalf("client owner %s, ring owner %s", got, owner)
+		}
+		for i, u := range urls {
+			want := 0
+			if u == owner {
+				want = 1
+			}
+			if hits[i][study] != want {
+				t.Fatalf("study %s: replica %s saw %d requests, want %d", study, u, hits[i][study], want)
+			}
+		}
+	}
+}
+
+// TestClientDrivesRealStudy: the acceptance loop — a real serve.Server
+// study driven entirely through the client, terminated by errors.Is(err,
+// ErrDone) exactly like a local engine loop.
+func TestClientDrivesRealStudy(t *testing.T) {
+	s, err := serve.NewServer(serve.Config{DataDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(s.Handler())
+	defer func() { hs.Close(); s.Close() }()
+
+	c, err := New(testCfg(hs.URL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	spec := testSpec("e2e", 6)
+	if err := c.Create(ctx, spec); err != nil {
+		t.Fatal(err)
+	}
+	paid := 0
+	for {
+		sg, err := c.Suggest(ctx, "e2e", -1)
+		if errors.Is(err, ErrDone) {
+			break
+		}
+		if errors.Is(err, ErrNonePending) {
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		y := 1 + math.Cos(2*math.Pi*sg.X[0])
+		if err := c.Report(ctx, "e2e", sg.ID, []float64{y}); err != nil {
+			t.Fatal(err)
+		}
+		paid++
+	}
+	st, err := c.Status(ctx, "e2e")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Done || st.Observations != paid {
+		t.Fatalf("status after drive: %+v (paid %d)", st, paid)
+	}
+	hist, err := c.History(ctx, "e2e")
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, th := range hist {
+		total += len(th.Y)
+	}
+	if total != paid {
+		t.Fatalf("history holds %d evaluations, paid %d", total, paid)
+	}
+	if _, err := c.Best(ctx, "e2e"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Pareto(ctx, "e2e"); err != nil {
+		t.Fatal(err)
+	}
+	studies, err := c.Studies(ctx)
+	if err != nil || len(studies) != 1 || studies[0] != "e2e" {
+		t.Fatalf("studies list: %v, %v", studies, err)
+	}
+	// Marshal round-trip sanity for the archive path.
+	arc, err := c.Snapshot(ctx, "e2e")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if arc.Logged == 0 {
+		t.Fatal("archive logs no evaluations")
+	}
+	if _, err := json.Marshal(arc); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -186,6 +186,11 @@ func (c *Checkpointer) Prior() []PriorSample {
 // histdb.WAL.Compact).
 func (c *Checkpointer) Compact() error { return c.wal.Compact() }
 
+// Export returns a consistent copy of the checkpoint's snapshot and log
+// files (see histdb.WAL.Export) — everything a Resume on another machine
+// needs to replay the study bitwise.
+func (c *Checkpointer) Export() (snapshot, log []byte, err error) { return c.wal.Export() }
+
 // Close flushes and closes the underlying log.
 func (c *Checkpointer) Close() error { return c.wal.Close() }
 

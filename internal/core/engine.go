@@ -120,6 +120,9 @@ type Engine struct {
 	genWG         sync.WaitGroup // joins the async background generator (Quiesce)
 	phase         string         // tuning phase of the current batch: "init", "search", "mo"
 	fatal         error
+
+	genEWMA    time.Duration // smoothed batch-generation latency (α=1/4)
+	genSamples int           // generations folded into genEWMA
 }
 
 // NewEngine builds an ask/tell engine over the problem and native task
@@ -286,6 +289,16 @@ func (e *Engine) maybeSpawnGeneration() {
 	mpx.Go(&e.genWG, e.runGeneration)
 }
 
+// GenLatency returns an exponentially-weighted moving average of the
+// engine's observed batch-generation latency (modeling + search for one
+// batch), and zero before the first generation completes. The tuning
+// service derives its 409 Retry-After hint from this instead of a constant.
+func (e *Engine) GenLatency() time.Duration {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.genEWMA
+}
+
 // Quiesce blocks until no background generation is in flight. Callers must
 // stop feeding the engine first (no concurrent Suggest/Observe/Fail) or a
 // fresh generation may start after Quiesce returns; the tuning service
@@ -315,8 +328,20 @@ func (e *Engine) runGeneration() {
 		}
 		isInit := !e.initGenerated
 		e.mu.Unlock()
+		t0 := e.st.opts.now()
 		jobs, phase, delta, err := e.generate(isInit)
+		dur := e.st.opts.now().Sub(t0)
 		e.mu.Lock()
+		// EWMA with α=1/4: heavy enough to track a study crossing a refit
+		// boundary (RefitEvery) within a few batches, smooth enough that one
+		// cold exact refit does not whipsaw the serving layer's Retry-After
+		// hint.
+		if e.genSamples == 0 {
+			e.genEWMA = dur
+		} else {
+			e.genEWMA = (e.genEWMA*3 + dur) / 4
+		}
+		e.genSamples++
 		e.st.stats.Add(delta)
 		if err != nil {
 			e.fatal = err

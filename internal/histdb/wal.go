@@ -24,12 +24,18 @@ package histdb
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"os"
 	"sync"
 	"time"
 )
+
+// ErrClosed is returned by Append/Sync/Compact/Export on a WAL whose Close
+// has completed. It makes the shutdown race benign: a handler that commits
+// after teardown gets a clean error instead of a nil-handle panic.
+var ErrClosed = errors.New("histdb: WAL is closed")
 
 // File is the subset of *os.File the WAL appends through. Tests substitute
 // fault-injecting implementations (internal/histdb/faultio) to prove the
@@ -70,6 +76,10 @@ type WAL struct {
 }
 
 func walPath(base string) string { return base + ".wal" }
+
+// WalPath returns the log-file path paired with the snapshot at base — the
+// naming contract importers need when materializing an exported WAL.
+func WalPath(base string) string { return walPath(base) }
 
 // walHeader is the first line of every log file.
 type walHeader struct {
@@ -169,6 +179,9 @@ func (w *WAL) Append(r Record) error {
 	line = append(line, '\n')
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	if w.f == nil {
+		return ErrClosed
+	}
 	if w.broken != nil {
 		return fmt.Errorf("histdb: log poisoned by earlier append failure: %w", w.broken)
 	}
@@ -192,6 +205,9 @@ func (w *WAL) Append(r Record) error {
 func (w *WAL) Sync() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	if w.f == nil {
+		return ErrClosed
+	}
 	if w.broken != nil {
 		return w.broken
 	}
@@ -213,6 +229,9 @@ func (w *WAL) Sync() error {
 func (w *WAL) Compact() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	if w.f == nil {
+		return ErrClosed
+	}
 	if w.broken != nil {
 		return w.broken
 	}
@@ -224,6 +243,42 @@ func (w *WAL) Compact() error {
 		return err
 	}
 	return w.writeFreshLog(len(w.db.records)) //gptlint:ignore lock-held-across-blocking the log-file swap is the second half of the same critical section
+}
+
+// Export returns a consistent byte-for-byte copy of the snapshot and log
+// files: pending group-commit appends are fsync'd first, then both files are
+// read in the same critical section so no append can interleave and no torn
+// tail can be observed. The pair is exactly what OpenWAL recovers from — the
+// study-migration transfer format. A missing snapshot file (nothing ever
+// compacted) yields a nil snapshot slice.
+func (w *WAL) Export() (snapshot, log []byte, err error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return nil, nil, ErrClosed
+	}
+	if w.broken != nil {
+		return nil, nil, w.broken
+	}
+	if w.pending > 0 {
+		if err := w.f.Sync(); err != nil { //gptlint:ignore lock-held-across-blocking pending records must hit disk before the files are copied, under the same critical section
+			w.broken = err
+			return nil, nil, err
+		}
+		w.pending = 0
+	}
+	snapshot, err = os.ReadFile(w.base) //gptlint:ignore lock-held-across-blocking the copy must exclude concurrent appends; the WAL mutex is the only thing that can
+	if err != nil {
+		if !os.IsNotExist(err) {
+			return nil, nil, err
+		}
+		snapshot = nil
+	}
+	log, err = os.ReadFile(walPath(w.base)) //gptlint:ignore lock-held-across-blocking same critical section as the snapshot read: the pair must be mutually consistent
+	if err != nil {
+		return nil, nil, err
+	}
+	return snapshot, log, nil
 }
 
 // Close flushes buffered appends and closes the log file.

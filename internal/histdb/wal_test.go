@@ -320,3 +320,108 @@ func TestWALNilClockDefaultsToWallClock(t *testing.T) {
 		t.Fatalf("nil-clock stamp = %v, want a recent wall-clock time", got)
 	}
 }
+
+// TestWALExport: Export must flush group-commit buffers, hand back bytes
+// that OpenWAL recovers into the identical record set, and the snapshot/log
+// pair must stay mutually consistent across a Compact.
+func TestWALExport(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "hist.json")
+	w, err := OpenWAL(base, WALOptions{GroupCommit: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	for i := 0; i < 5; i++ {
+		if err := w.Append(walRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap, log, err := w.Export()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap != nil {
+		t.Fatalf("no compaction ran yet but Export returned a %d-byte snapshot", len(snap))
+	}
+
+	// Materialize the export elsewhere and recover it.
+	restore := func(snap, log []byte) *WAL {
+		dir := t.TempDir()
+		dst := filepath.Join(dir, "hist.json")
+		if snap != nil {
+			if err := os.WriteFile(dst, snap, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := os.WriteFile(dst+".wal", log, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		w2, err := OpenWAL(dst, WALOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return w2
+	}
+	w2 := restore(snap, log)
+	defer w2.Close()
+	if w2.Len() != 5 {
+		t.Fatalf("restored export has %d records, want 5", w2.Len())
+	}
+	a, _ := json.Marshal(w.DB().Records())
+	b, _ := json.Marshal(w2.DB().Records())
+	if string(a) != string(b) {
+		t.Fatal("restored records differ from the source")
+	}
+
+	// After Compact the snapshot carries everything and the log is empty.
+	if err := w.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(walRecord(5)); err != nil {
+		t.Fatal(err)
+	}
+	snap, log, err = w.Export()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap == nil {
+		t.Fatal("Export after Compact returned no snapshot")
+	}
+	w3 := restore(snap, log)
+	defer w3.Close()
+	if w3.Len() != 6 {
+		t.Fatalf("restored post-compact export has %d records, want 6", w3.Len())
+	}
+}
+
+// TestWALClosedOps: operations on a closed WAL fail with ErrClosed instead
+// of dereferencing the nil file handle — the forced-drain shutdown path
+// depends on this.
+func TestWALClosedOps(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "hist.json")
+	w, err := OpenWAL(base, WALOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(walRecord(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(walRecord(1)); err != ErrClosed {
+		t.Fatalf("Append after Close: got %v, want ErrClosed", err)
+	}
+	if err := w.Sync(); err != ErrClosed {
+		t.Fatalf("Sync after Close: got %v, want ErrClosed", err)
+	}
+	if err := w.Compact(); err != ErrClosed {
+		t.Fatalf("Compact after Close: got %v, want ErrClosed", err)
+	}
+	if _, _, err := w.Export(); err != ErrClosed {
+		t.Fatalf("Export after Close: got %v, want ErrClosed", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("second Close: got %v, want nil", err)
+	}
+}

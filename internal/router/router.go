@@ -1,0 +1,346 @@
+// Package router is the thin consistent-hash proxy in front of a set of
+// gptuned replicas: dumb clients (curl, non-Go stacks, the bench harness in
+// cluster mode) talk to one address and the router forwards each
+// study-scoped request to the study's rendezvous owner (internal/ring) on
+// the *healthy* subset of the replica set. A background probe loop health-
+// checks every replica's /healthz and ejects nodes that fail repeatedly —
+// gptuned's draining 503 (graceful shutdown in progress) ejects a replica
+// just like a dead TCP connection does, so rolling restarts drain traffic
+// before the WALs close.
+//
+// The router holds no study state: placement is a pure function of the
+// healthy node set and the study name, the same function the gptune/client
+// package computes client-side. Re-homing a study after a replica loss is
+// the operator's (or test harness's) move — snapshot-import the dead node's
+// WAL onto a survivor through POST /studies/import, which the router routes
+// by the archive's study name exactly like a create.
+package router
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httputil"
+	"net/url"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/mpx"
+	"repro/internal/ring"
+)
+
+// Config configures a Router.
+type Config struct {
+	// Replicas lists gptuned base URLs ("http://host:port"). Required.
+	Replicas []string
+	// ProbeEvery is the health-probe period. Default 1s.
+	ProbeEvery time.Duration
+	// ProbeTimeout bounds one probe request. Default 2s.
+	ProbeTimeout time.Duration
+	// FailThreshold is how many consecutive probe failures eject a replica.
+	// A single success re-admits it. Default 3.
+	FailThreshold int
+	// MaxPeekBytes caps how much of a POST /studies or /studies/import body
+	// the router buffers to learn the study name. Default 64 MiB (an import
+	// carries a whole study's WAL).
+	MaxPeekBytes int64
+}
+
+// Router proxies the gptuned API across replicas. Build with New, serve
+// Handler, and call Start to begin health probing (Stop to halt it).
+type Router struct {
+	cfg     Config
+	all     *ring.Ring
+	proxies map[string]*httputil.ReverseProxy
+	probeHC *http.Client
+
+	mu       sync.Mutex
+	failures map[string]int // consecutive probe failures per replica
+	ejected  map[string]bool
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// New builds a router over the replica set.
+func New(cfg Config) (*Router, error) {
+	all := ring.New(cfg.Replicas...)
+	if all.Len() == 0 {
+		return nil, errors.New("router: Config.Replicas is required")
+	}
+	if cfg.ProbeEvery <= 0 {
+		cfg.ProbeEvery = time.Second
+	}
+	if cfg.ProbeTimeout <= 0 {
+		cfg.ProbeTimeout = 2 * time.Second
+	}
+	if cfg.FailThreshold <= 0 {
+		cfg.FailThreshold = 3
+	}
+	if cfg.MaxPeekBytes <= 0 {
+		cfg.MaxPeekBytes = 64 << 20
+	}
+	rt := &Router{
+		cfg:      cfg,
+		all:      all,
+		proxies:  make(map[string]*httputil.ReverseProxy, all.Len()),
+		probeHC:  &http.Client{Timeout: cfg.ProbeTimeout},
+		failures: make(map[string]int),
+		ejected:  make(map[string]bool),
+		stop:     make(chan struct{}),
+	}
+	for _, rep := range all.Nodes() {
+		target, err := url.Parse(rep)
+		if err != nil {
+			return nil, fmt.Errorf("router: replica %q: %w", rep, err)
+		}
+		rep := rep
+		rt.proxies[rep] = &httputil.ReverseProxy{
+			Rewrite: func(pr *httputil.ProxyRequest) { pr.SetURL(target) },
+			// A proxy error is evidence as strong as a failed probe: count
+			// it toward ejection immediately instead of waiting for the
+			// probe loop to notice, and answer 503 (not the default 502) so
+			// the retrying client treats it like any draining replica.
+			ErrorHandler: func(w http.ResponseWriter, r *http.Request, err error) {
+				rt.recordFailure(rep)
+				w.Header().Set("Retry-After", "1")
+				w.Header().Set("Content-Type", "application/json")
+				w.WriteHeader(http.StatusServiceUnavailable)
+				fmt.Fprintf(w, `{"error":"router: replica unavailable: %s"}`, rep)
+			},
+		}
+	}
+	return rt, nil
+}
+
+// Start launches the background health-probe loop.
+func (rt *Router) Start() {
+	mpx.Go(&rt.wg, rt.probeLoop)
+}
+
+// Stop halts the probe loop and waits for it.
+func (rt *Router) Stop() {
+	close(rt.stop)
+	rt.wg.Wait()
+}
+
+func (rt *Router) probeLoop() {
+	t := time.NewTicker(rt.cfg.ProbeEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-rt.stop:
+			return
+		case <-t.C:
+			for _, rep := range rt.all.Nodes() {
+				rt.probe(rep)
+			}
+		}
+	}
+}
+
+// probe health-checks one replica: any 200 /healthz re-admits it, anything
+// else (error, non-200 — including gptuned's draining 503) counts toward
+// ejection.
+func (rt *Router) probe(rep string) {
+	resp, err := rt.probeHC.Get(rep + "/healthz")
+	if err == nil {
+		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			rt.mu.Lock()
+			rt.failures[rep] = 0
+			rt.ejected[rep] = false
+			rt.mu.Unlock()
+			return
+		}
+	}
+	rt.recordFailure(rep)
+}
+
+func (rt *Router) recordFailure(rep string) {
+	rt.mu.Lock()
+	rt.failures[rep]++
+	if rt.failures[rep] >= rt.cfg.FailThreshold {
+		rt.ejected[rep] = true
+	}
+	rt.mu.Unlock()
+}
+
+// Healthy returns the replicas currently routed to, sorted.
+func (rt *Router) Healthy() []string {
+	return rt.healthyRing().Nodes()
+}
+
+func (rt *Router) healthyRing() *ring.Ring {
+	rt.mu.Lock()
+	var dead []string
+	for rep, out := range rt.ejected {
+		if out {
+			dead = append(dead, rep)
+		}
+	}
+	rt.mu.Unlock()
+	return rt.all.Without(dead...)
+}
+
+// Handler returns the router's HTTP surface: the full gptuned API routed by
+// study name, plus the router's own /healthz.
+func (rt *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", rt.handleHealth)
+	mux.HandleFunc("GET /studies", rt.handleList)
+	mux.HandleFunc("POST /studies", rt.handleCreate)
+	mux.HandleFunc("POST /studies/import", rt.handleImport)
+	mux.HandleFunc("/studies/{study}", rt.handleStudy)
+	mux.HandleFunc("/studies/{study}/{verb}", rt.handleStudy)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (rt *Router) writeNoReplicas(w http.ResponseWriter) {
+	w.Header().Set("Retry-After", "1")
+	writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": "router: no healthy replicas"})
+}
+
+// forward proxies the request to the healthy owner of study.
+func (rt *Router) forward(w http.ResponseWriter, r *http.Request, study string) {
+	owner, ok := rt.healthyRing().Owner(study)
+	if !ok {
+		rt.writeNoReplicas(w)
+		return
+	}
+	rt.proxies[owner].ServeHTTP(w, r)
+}
+
+func (rt *Router) handleStudy(w http.ResponseWriter, r *http.Request) {
+	rt.forward(w, r, r.PathValue("study"))
+}
+
+// handleCreate peeks the spec's name out of the buffered body, restores the
+// body, and forwards to the name's owner — the one place the router must
+// read a payload to route it.
+func (rt *Router) handleCreate(w http.ResponseWriter, r *http.Request) {
+	var peek struct {
+		Name string `json:"name"`
+	}
+	if !rt.peekBody(w, r, &peek) {
+		return
+	}
+	rt.forward(w, r, peek.Name)
+}
+
+func (rt *Router) handleImport(w http.ResponseWriter, r *http.Request) {
+	var peek struct {
+		Spec struct {
+			Name string `json:"name"`
+		} `json:"spec"`
+	}
+	if !rt.peekBody(w, r, &peek) {
+		return
+	}
+	rt.forward(w, r, peek.Spec.Name)
+}
+
+// peekBody buffers the request body (capped), decodes the routing fields
+// into v leniently (unknown fields are the replica's to validate), and
+// replaces r.Body so the proxy forwards the full payload. Returns false
+// with the HTTP error written when the body is unreadable or not JSON.
+func (rt *Router) peekBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, rt.cfg.MaxPeekBytes))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "router: reading body: " + err.Error()})
+		return false
+	}
+	if err := json.Unmarshal(data, v); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "router: body is not JSON: " + err.Error()})
+		return false
+	}
+	r.Body = io.NopCloser(bytes.NewReader(data))
+	r.ContentLength = int64(len(data))
+	return true
+}
+
+// handleList fans GET /studies out to every healthy replica and merges the
+// names — the one read that spans the cluster.
+func (rt *Router) handleList(w http.ResponseWriter, r *http.Request) {
+	healthy := rt.healthyRing().Nodes()
+	if len(healthy) == 0 {
+		rt.writeNoReplicas(w)
+		return
+	}
+	seen := make(map[string]bool)
+	var firstErr error
+	for _, rep := range healthy {
+		req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, rep+"/studies", nil)
+		if err != nil {
+			firstErr = err
+			continue
+		}
+		resp, err := rt.probeHC.Do(req)
+		if err != nil {
+			rt.recordFailure(rep)
+			firstErr = err
+			continue
+		}
+		var body struct {
+			Studies []string `json:"studies"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&body)
+		resp.Body.Close()
+		if err != nil {
+			firstErr = err
+			continue
+		}
+		for _, s := range body.Studies {
+			seen[s] = true
+		}
+	}
+	if len(seen) == 0 && firstErr != nil {
+		writeJSON(w, http.StatusBadGateway, map[string]string{"error": "router: listing studies: " + firstErr.Error()})
+		return
+	}
+	names := make([]string, 0, len(seen))
+	for s := range seen {
+		names = append(names, s)
+	}
+	sort.Strings(names)
+	writeJSON(w, http.StatusOK, map[string]any{"studies": names})
+}
+
+// replicaHealth is one replica's row in the router's /healthz payload.
+type replicaHealth struct {
+	Healthy  bool `json:"healthy"`
+	Failures int  `json:"failures,omitempty"`
+}
+
+// handleHealth reports the router's own view: 200 while at least one
+// replica is routable, 503 otherwise.
+func (rt *Router) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	rt.mu.Lock()
+	detail := make(map[string]replicaHealth, rt.all.Len())
+	healthy := 0
+	for _, rep := range rt.all.Nodes() {
+		h := !rt.ejected[rep]
+		if h {
+			healthy++
+		}
+		detail[rep] = replicaHealth{Healthy: h, Failures: rt.failures[rep]}
+	}
+	rt.mu.Unlock()
+	code := http.StatusOK
+	status := "ok"
+	if healthy == 0 {
+		code, status = http.StatusServiceUnavailable, "no healthy replicas"
+	}
+	writeJSON(w, code, map[string]any{"status": status, "healthy": healthy, "replicas": detail})
+}

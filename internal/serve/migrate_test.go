@@ -1,0 +1,162 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// TestSnapshotImportResumeParity is the migration acceptance test: a study
+// driven partway on one server, exported, and imported onto a fresh server
+// must (a) resume without re-paying a single logged evaluation and (b)
+// finish with bitwise the same history as an uninterrupted run of the same
+// spec — the same guarantee the SIGKILL-restart test proves for in-place
+// recovery, here across servers.
+func TestSnapshotImportResumeParity(t *testing.T) {
+	const epsTot, seed = 8, 7
+	spec := testSpec("mig", epsTot, seed)
+
+	// Reference: one server drives the study start to finish.
+	_, ref := newTestServer(t)
+	if code := ref.post("/studies", spec, nil); code != http.StatusCreated {
+		t.Fatalf("reference create: status %d", code)
+	}
+	refPaid := ref.drive("mig", testTasks, -1)
+	refHist := ref.history("mig")
+
+	// Source: same spec, driven only partway, then exported.
+	_, src := newTestServer(t)
+	if code := src.post("/studies", spec, nil); code != http.StatusCreated {
+		t.Fatalf("source create: status %d", code)
+	}
+	firstPaid := src.drive("mig", testTasks, 7)
+	var arc studyArchive
+	if code := src.get("/studies/mig/snapshot", &arc); code != http.StatusOK {
+		t.Fatalf("snapshot: status %d", code)
+	}
+	if arc.Spec.Name != "mig" {
+		t.Fatalf("archive names study %q", arc.Spec.Name)
+	}
+	if arc.Logged != firstPaid {
+		t.Fatalf("archive logs %d evaluations, client paid %d", arc.Logged, firstPaid)
+	}
+	if len(arc.Snapshot) == 0 || len(arc.WAL) == 0 {
+		t.Fatalf("archive missing bytes after compaction: snapshot=%d wal=%d", len(arc.Snapshot), len(arc.WAL))
+	}
+
+	// Destination: a fresh server imports the archive and finishes the run.
+	_, dst := newTestServer(t)
+	var imp struct {
+		Name   string `json:"name"`
+		Logged int    `json:"logged"`
+	}
+	if code := dst.post("/studies/import", arc, &imp); code != http.StatusCreated {
+		t.Fatalf("import: status %d", code)
+	}
+	if imp.Logged != firstPaid {
+		t.Fatalf("import recovered %d logged evaluations, want %d", imp.Logged, firstPaid)
+	}
+	secondPaid := dst.drive("mig", testTasks, -1)
+	if firstPaid+secondPaid != refPaid {
+		t.Fatalf("paid %d+%d evaluations across the migration, uninterrupted run paid %d — logged work was re-paid",
+			firstPaid, secondPaid, refPaid)
+	}
+	gotHist := dst.history("mig")
+	a, _ := json.Marshal(refHist)
+	b, _ := json.Marshal(gotHist)
+	if string(a) != string(b) {
+		t.Fatalf("migrated history differs from the uninterrupted run\nref: %s\ngot: %s", a, b)
+	}
+
+	// Importing over a live study must not clobber it.
+	if code := dst.post("/studies/import", arc, nil); code != http.StatusConflict {
+		t.Fatalf("duplicate import: status %d, want 409", code)
+	}
+}
+
+// TestImportRejectsBadArchive: a structurally invalid spec and a corrupt
+// WAL must both bounce with 400 and leave no study (or files) behind.
+func TestImportRejectsBadArchive(t *testing.T) {
+	_, c := newTestServer(t)
+
+	bad := studyArchive{Spec: testSpec("", 4, 1)} // empty name fails validation
+	if code := c.post("/studies/import", bad, nil); code != http.StatusBadRequest {
+		t.Fatalf("invalid spec import: status %d, want 400", code)
+	}
+
+	corrupt := studyArchive{Spec: testSpec("c", 4, 1), WAL: []byte("{\"wal\":1,\"snapshot_len\":0}\n{not json}\n")}
+	if code := c.post("/studies/import", corrupt, nil); code != http.StatusBadRequest {
+		t.Fatalf("corrupt WAL import: status %d, want 400", code)
+	}
+	var list struct {
+		Studies []string `json:"studies"`
+	}
+	if code := c.get("/studies", &list); code != http.StatusOK || len(list.Studies) != 0 {
+		t.Fatalf("failed imports left studies behind: %v (status %d)", list.Studies, code)
+	}
+	// The name must be importable again after the failure (files cleaned,
+	// reservation released).
+	ok := studyArchive{Spec: testSpec("c", 4, 1)}
+	if code := c.post("/studies/import", ok, nil); code != http.StatusCreated {
+		t.Fatalf("re-import after failure: status %d, want 201", code)
+	}
+}
+
+// TestHealthDraining: /healthz must flip to 503 the moment draining begins
+// — before any study teardown — and report per-study phase/async state
+// while healthy so a router can make eviction decisions.
+func TestHealthDraining(t *testing.T) {
+	s, c := newTestServer(t)
+	if code := c.post("/studies", testSpec("h", 4, 3), nil); code != http.StatusCreated {
+		t.Fatalf("create: status %d", code)
+	}
+	var h struct {
+		Status  string                 `json:"status"`
+		Studies int                    `json:"studies"`
+		Detail  map[string]healthStudy `json:"detail"`
+	}
+	if code := c.get("/healthz", &h); code != http.StatusOK {
+		t.Fatalf("health: status %d, want 200", code)
+	}
+	if h.Status != "ok" || h.Studies != 1 {
+		t.Fatalf("health payload: %+v", h)
+	}
+	d, ok := h.Detail["h"]
+	if !ok || d.Phase == "" {
+		t.Fatalf("health detail missing study phase: %+v", h.Detail)
+	}
+
+	s.BeginDrain()
+	h.Detail = nil
+	if code := c.get("/healthz", &h); code != http.StatusServiceUnavailable {
+		t.Fatalf("health while draining: status %d, want 503", code)
+	}
+	if h.Status != "draining" {
+		t.Fatalf("health status while draining: %q", h.Status)
+	}
+}
+
+// TestRetryAfterSeconds pins the hint derivation: async studies report the
+// truncated EWMA (including "0" — retry immediately), sync studies round up
+// and never drop below one second.
+func TestRetryAfterSeconds(t *testing.T) {
+	cases := []struct {
+		gen   time.Duration
+		async bool
+		want  string
+	}{
+		{0, false, "1"},
+		{0, true, "0"},
+		{10 * time.Millisecond, true, "0"},
+		{10 * time.Millisecond, false, "1"},
+		{time.Second, false, "1"},
+		{2500 * time.Millisecond, false, "3"},
+		{2500 * time.Millisecond, true, "2"},
+	}
+	for _, tc := range cases {
+		if got := retryAfterSeconds(tc.gen, tc.async); got != tc.want {
+			t.Errorf("retryAfterSeconds(%v, async=%v) = %q, want %q", tc.gen, tc.async, got, tc.want)
+		}
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -30,6 +31,10 @@ type Config struct {
 	ModelSlots int
 	// MaxBodyBytes caps every request body. Default 1 MiB.
 	MaxBodyBytes int64
+	// MaxImportBytes caps the POST /studies/import body, which carries a
+	// whole study's snapshot + WAL and so dwarfs every other request.
+	// Default 64 MiB.
+	MaxImportBytes int64
 	// Clock overrides the wall clock used for phase telemetry and WAL
 	// stamps; nil means the real clock.
 	Clock func() time.Time
@@ -49,8 +54,9 @@ type Server struct {
 	// write and WAL open happen outside the lock, and the reservation is
 	// what keeps a concurrent duplicate create from racing past the
 	// exists check in the meantime.
-	pending map[string]bool
-	closed  bool
+	pending  map[string]bool
+	draining bool // health reports 503; set by BeginDrain and by Close
+	closed   bool
 }
 
 type study struct {
@@ -71,6 +77,9 @@ func NewServer(cfg Config) (*Server, error) {
 	if cfg.MaxBodyBytes <= 0 {
 		cfg.MaxBodyBytes = 1 << 20
 	}
+	if cfg.MaxImportBytes <= 0 {
+		cfg.MaxImportBytes = 64 << 20
+	}
 	if err := os.MkdirAll(cfg.DataDir, 0o755); err != nil {
 		return nil, err
 	}
@@ -89,6 +98,13 @@ func (s *Server) specPath(name string) string {
 func (s *Server) histPath(name string) string {
 	return filepath.Join(s.cfg.DataDir, name+".hist.json")
 }
+
+// SpecPath and HistPath expose the data-directory layout — where a study's
+// spec and history-snapshot files live — for tools that must read a dead
+// server's files directly (crash recovery rebuilds a transfer archive from
+// them; the WAL sidecar is histdb.WalPath(HistPath(name))).
+func (s *Server) SpecPath(name string) string { return s.specPath(name) }
+func (s *Server) HistPath(name string) string { return s.histPath(name) }
 
 // resumeAll rebuilds every study found in the data directory, replaying its
 // WAL through the engine's checkpoint-autofill path.
@@ -160,6 +176,16 @@ func (s *Server) lookup(name string) (*study, bool) {
 	return st, ok
 }
 
+// BeginDrain flips /healthz to 503 without tearing anything down: existing
+// studies keep serving, but a router health-checking the replica stops
+// routing new work to it. Call it before http.Server.Shutdown so the
+// health flip races ahead of the connection drain, not behind it.
+func (s *Server) BeginDrain() {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+}
+
 // Close flushes and closes every study's WAL. In-flight HTTP handlers should
 // be drained first (http.Server.Shutdown) so no commit races the close.
 func (s *Server) Close() error {
@@ -172,6 +198,10 @@ func (s *Server) Close() error {
 		s.mu.Unlock()
 		return nil
 	}
+	// Draining flips first: from here until the process exits, a health
+	// probe must never report this replica routable — study teardown is
+	// about to start.
+	s.draining = true
 	s.closed = true
 	names := make([]string, 0, len(s.studies))
 	for name := range s.studies {
@@ -207,7 +237,9 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("POST /studies", s.handleCreate)
+	mux.HandleFunc("POST /studies/import", s.handleImport)
 	mux.HandleFunc("GET /studies", s.handleList)
+	mux.HandleFunc("GET /studies/{study}/snapshot", s.handleSnapshot)
 	mux.HandleFunc("GET /studies/{study}", s.handleStatus)
 	mux.HandleFunc("POST /studies/{study}/suggest", s.handleSuggest)
 	mux.HandleFunc("POST /studies/{study}/report", s.handleReport)
@@ -238,7 +270,11 @@ func writeError(w http.ResponseWriter, code int, err error) {
 // An empty body leaves v untouched and returns nil, so requests with
 // all-default parameters can omit the body entirely.
 func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
-	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	return s.decodeBodyCapped(w, r, v, s.cfg.MaxBodyBytes)
+}
+
+func (s *Server) decodeBodyCapped(w http.ResponseWriter, r *http.Request, v any, cap int64) error {
+	body := http.MaxBytesReader(w, r.Body, cap)
 	dec := json.NewDecoder(body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
@@ -250,11 +286,38 @@ func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) error
 	return nil
 }
 
+// healthStudy is one study's slice of the GET /healthz payload — enough for
+// a router to decide whether evicting the replica strands active work.
+type healthStudy struct {
+	Phase string `json:"phase"`
+	Async bool   `json:"async,omitempty"`
+	Done  bool   `json:"done,omitempty"`
+}
+
+// handleHealth reports the replica's routability. While draining (graceful
+// shutdown has begun, or Close is mid-teardown) it answers 503 so a router
+// health-checking this endpoint stops sending suggests that would land on
+// closing WALs; a plain liveness probe should treat any HTTP answer as
+// alive.
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	s.mu.Lock()
-	n := len(s.studies)
+	draining := s.draining
+	studies := make(map[string]*study, len(s.studies))
+	for name, st := range s.studies {
+		studies[name] = st
+	}
 	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "studies": n})
+	// Engine queries happen off the server mutex: Phase/Done take the
+	// engine mutex but never block on a generation in flight.
+	detail := make(map[string]healthStudy, len(studies))
+	for name, st := range studies {
+		detail[name] = healthStudy{Phase: st.eng.Phase(), Async: st.spec.Options.Async, Done: st.eng.Done()}
+	}
+	status, code := "ok", http.StatusOK
+	if draining {
+		status, code = "draining", http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]any{"status": status, "studies": len(studies), "detail": detail})
 }
 
 func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
@@ -267,28 +330,10 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	// Reserve the name under the lock, do the durable spec write and WAL
-	// open outside it, then insert-or-roll-back. The reservation keeps a
-	// concurrent duplicate create from passing the exists check while this
-	// one is mid-I/O; distinct names proceed in parallel.
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
-		writeError(w, http.StatusServiceUnavailable, errors.New("serve: server is shutting down"))
+	if !s.reserveName(w, spec.Name) {
 		return
 	}
-	if _, exists := s.studies[spec.Name]; exists || s.pending[spec.Name] {
-		s.mu.Unlock()
-		writeError(w, http.StatusConflict, fmt.Errorf("serve: study %s already exists", spec.Name))
-		return
-	}
-	s.pending[spec.Name] = true
-	s.mu.Unlock()
-	defer func() {
-		s.mu.Lock()
-		delete(s.pending, spec.Name)
-		s.mu.Unlock()
-	}()
+	defer s.releaseName(spec.Name)
 
 	// Persist the spec before opening the study: after a crash the spec on
 	// disk, not the client, is what rebuilds the engine the WAL replays.
@@ -307,20 +352,56 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
-
-	s.mu.Lock()
-	if s.closed {
-		// Close ran while the study was being opened; its snapshot cannot
-		// contain this study, so unwind rather than leak an open WAL.
-		s.mu.Unlock()
-		st.cp.Close()
-		os.Remove(s.specPath(spec.Name))
-		writeError(w, http.StatusServiceUnavailable, errors.New("serve: server is shutting down"))
+	if !s.installStudy(w, st, func() { os.Remove(s.specPath(spec.Name)) }) {
 		return
 	}
-	s.studies[spec.Name] = st
-	s.mu.Unlock()
 	writeJSON(w, http.StatusCreated, map[string]any{"name": spec.Name, "tasks": len(spec.Tasks)})
+}
+
+// reserveName reserves a study name for an in-flight create/import under
+// the server lock, so the durable writes and WAL open can happen outside
+// it: the reservation keeps a concurrent duplicate from passing the exists
+// check mid-I/O while distinct names proceed in parallel. On failure it
+// writes the HTTP error (503 shutting down, 409 duplicate) and returns
+// false. A true return must be paired with releaseName.
+func (s *Server) reserveName(w http.ResponseWriter, name string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		writeError(w, http.StatusServiceUnavailable, errors.New("serve: server is shutting down"))
+		return false
+	}
+	if _, exists := s.studies[name]; exists || s.pending[name] {
+		writeError(w, http.StatusConflict, fmt.Errorf("serve: study %s already exists", name))
+		return false
+	}
+	s.pending[name] = true
+	return true
+}
+
+func (s *Server) releaseName(name string) {
+	s.mu.Lock()
+	delete(s.pending, name)
+	s.mu.Unlock()
+}
+
+// installStudy inserts an opened study under the lock, re-checking closed:
+// if Close ran while the study was being opened, its teardown snapshot
+// cannot contain this study, so unwind (close the WAL, run the caller's
+// on-disk cleanup) rather than leak an open log. Writes the HTTP error and
+// returns false on that race.
+func (s *Server) installStudy(w http.ResponseWriter, st *study, cleanup func()) bool {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		st.cp.Close()
+		cleanup()
+		writeError(w, http.StatusServiceUnavailable, errors.New("serve: server is shutting down"))
+		return false
+	}
+	s.studies[st.spec.Name] = st
+	s.mu.Unlock()
+	return true
 }
 
 func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
@@ -402,10 +483,24 @@ type suggestResponse struct {
 	Done       bool        `json:"done,omitempty"`
 }
 
-// retryAfterHint is the Retry-After value (seconds) sent with the
-// ErrNonePending 409: the next batch is at most one surrogate fit away, so
-// load-test clients should back off briefly rather than hammer.
-const retryAfterHint = "1"
+// retryAfterSeconds derives the Retry-After hint (whole seconds) sent with
+// the ErrNonePending 409 from the study's observed batch-generation latency
+// (Engine.GenLatency EWMA). A constant hint is wrong in both directions: one
+// second is ~100× too long for a sub-10ms async refit and starves a cold
+// n=3k exact refit into hammering. Async studies may be told "0" (retry
+// immediately — the background fit is sub-second); sync studies round up and
+// never below 1, because their 409s mean every outstanding configuration is
+// held by another client, which no fast retry fixes.
+func retryAfterSeconds(gen time.Duration, async bool) string {
+	if async {
+		return strconv.FormatInt(int64(gen/time.Second), 10)
+	}
+	secs := int64((gen + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.FormatInt(secs, 10)
+}
 
 func (s *Server) handleSuggest(w http.ResponseWriter, r *http.Request) {
 	st, ok := s.lookup(r.PathValue("study"))
@@ -432,7 +527,7 @@ func (s *Server) handleSuggest(w http.ResponseWriter, r *http.Request) {
 		// Every outstanding configuration is held by another client, or (on
 		// an async study) the next batch is still being generated; retry
 		// after a short backoff.
-		w.Header().Set("Retry-After", retryAfterHint)
+		w.Header().Set("Retry-After", retryAfterSeconds(st.eng.GenLatency(), st.spec.Options.Async))
 		writeError(w, http.StatusConflict, err)
 	default:
 		writeError(w, statusFor(err), err)
