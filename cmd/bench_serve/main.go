@@ -18,6 +18,13 @@
 // from serializing behind each other. The cluster section records the
 // single-replica baseline, the N-replica aggregate, and their ratio.
 //
+// With -scenario (a comma-separated list of workload-registry names, or
+// "all") it instead drives each named scenario end-to-end through
+// gptune/client: the study is created by name — the server instantiates the
+// spaces, constraints included, from the registry — and the client runs the
+// scenario's own objective, failing hard on any infeasible suggestion. This
+// is the CI smoke path proving constrained scenarios work over the wire.
+//
 // The report is written to BENCH_SERVE.json and self-validated (non-zero
 // throughput, well-formed JSON) so a CI smoke run fails loudly instead of
 // committing an empty benchmark.
@@ -26,36 +33,40 @@
 //
 //	[-eps 16] [-seed 42] [-conns 256]
 //	[-replicas 3] [-cluster-clients 8] [-cluster-eps 16] [-eval-ms 200]
+//	[-scenario gemm,recsys] [-scenario-tasks 2] [-scenario-eps 8]
 package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
-	"math"
+	"math/rand"
 	"net"
 	"net/http"
 	"os"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
+	"repro/gptune/client"
+	"repro/internal/apps/analytical"
+	"repro/internal/bench"
+	_ "repro/internal/bench/all" // full workload catalog for -scenario
 	"repro/internal/mpx"
 	"repro/internal/router"
+	"repro/internal/sample"
 	"repro/internal/serve"
 )
 
-// paperObjective is Eq. (11), evaluated client-side — the server never holds
-// an Objective, exactly like a production tuning client.
-func paperObjective(t, x float64) float64 {
-	s := 0.0
-	for i := 1; i <= 5; i++ {
-		s += math.Sin(2 * math.Pi * x * math.Pow(t+2, float64(i)))
-	}
-	return 1 + math.Exp(-math.Pow(x+1, t+1))*math.Cos(2*math.Pi*x)*s
-}
+// paperObjective is Eq. (11), shared from the analytical app and evaluated
+// client-side — the server never holds an Objective, exactly like a
+// production tuning client.
+var paperObjective = analytical.Objective
 
 var benchTasks = [][]float64{{0}, {1.5}, {3}}
 
@@ -126,6 +137,22 @@ type clusterReport struct {
 	Scale  float64    `json:"scale"`
 }
 
+// scenarioReport is one registry scenario driven end-to-end through
+// gptune/client: the study is created by name — the server instantiates the
+// spaces, constraints included, from the workload registry — and the client
+// evaluates the scenario's own objective, checking every suggestion against
+// the scenario's constraints.
+type scenarioReport struct {
+	Scenario    string  `json:"scenario"`
+	Tasks       int     `json:"tasks"`
+	EpsTot      int     `json:"eps_tot"`
+	Constrained bool    `json:"constrained"`
+	Evals       int64   `json:"evals"`
+	Best        float64 `json:"best"` // best objective-0 value observed
+	WallMs      float64 `json:"wall_ms"`
+	EvalsPerSec float64 `json:"evals_per_sec"`
+}
+
 type report struct {
 	Config struct {
 		Clients    int    `json:"clients"`
@@ -136,9 +163,10 @@ type report struct {
 		GoVersion  string `json:"go_version"`
 		GOMAXPROCS int    `json:"gomaxprocs"`
 	} `json:"config"`
-	Sync    modeReport     `json:"sync"`
-	Async   modeReport     `json:"async"`
-	Cluster *clusterReport `json:"cluster,omitempty"`
+	Sync      modeReport       `json:"sync,omitempty"`
+	Async     modeReport       `json:"async,omitempty"`
+	Cluster   *clusterReport   `json:"cluster,omitempty"`
+	Scenarios []scenarioReport `json:"scenarios,omitempty"`
 }
 
 // stats accumulates one mode's counters; clients merge their local batches
@@ -461,6 +489,86 @@ func runCluster(dir string, n, clients, eps, evalMs int, seed int64) (clusterRun
 	}, nil
 }
 
+// runScenario drives one registry scenario through gptune/client against
+// base: the study is created by name (the server instantiates the spaces
+// from the workload registry), then a suggest→evaluate→report loop runs the
+// scenario's own objective client-side until the budget is exhausted. Every
+// suggestion must satisfy the scenario's constraints — an infeasible point
+// is a hard failure, since the point of scenario studies is that constraints
+// ride along server-side.
+func runScenario(base, name string, numTasks, eps int, seed int64) (scenarioReport, error) {
+	sc, err := bench.Get(name)
+	if err != nil {
+		return scenarioReport{}, err
+	}
+	prob, err := sc.Problem(nil)
+	if err != nil {
+		return scenarioReport{}, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	tasks, err := sample.FeasibleLHS(prob.Tasks, numTasks, rng)
+	if err != nil {
+		return scenarioReport{}, err
+	}
+	c, err := client.New(client.Config{Replicas: []string{base}})
+	if err != nil {
+		return scenarioReport{}, err
+	}
+	study := "bench-scenario-" + sc.Name
+	ctx := context.Background()
+	if err := c.Create(ctx, client.StudySpec{
+		Name:     study,
+		Scenario: name,
+		Tasks:    tasks,
+		Options:  client.OptionsSpec{EpsTot: eps, Seed: seed, Workers: runtime.GOMAXPROCS(0)},
+	}); err != nil {
+		return scenarioReport{}, fmt.Errorf("creating scenario study %s: %w", study, err)
+	}
+
+	out := scenarioReport{
+		Scenario:    sc.Name,
+		Tasks:       len(tasks),
+		EpsTot:      eps,
+		Constrained: len(prob.Tuning.Constraints) > 0,
+	}
+	best := 0.0
+	t0 := time.Now()
+	for {
+		sg, err := c.Suggest(ctx, study, -1)
+		if errors.Is(err, client.ErrDone) {
+			break
+		}
+		if errors.Is(err, client.ErrNonePending) {
+			continue
+		}
+		if err != nil {
+			return scenarioReport{}, fmt.Errorf("scenario %s suggest: %w", sc.Name, err)
+		}
+		if !prob.Tuning.Feasible(sg.X) {
+			return scenarioReport{}, fmt.Errorf("scenario %s: suggestion %v violates the scenario's constraints", sc.Name, sg.X)
+		}
+		y, err := prob.Objective(tasks[sg.Task], sg.X)
+		if err != nil {
+			return scenarioReport{}, fmt.Errorf("scenario %s objective: %w", sc.Name, err)
+		}
+		if err := c.Report(ctx, study, sg.ID, y); err != nil {
+			return scenarioReport{}, fmt.Errorf("scenario %s report: %w", sc.Name, err)
+		}
+		if out.Evals == 0 || y[0] < best {
+			best = y[0]
+		}
+		out.Evals++
+	}
+	wall := time.Since(t0)
+	if want := int64(eps * len(tasks)); out.Evals != want {
+		return scenarioReport{}, fmt.Errorf("scenario %s committed %d evaluations, want %d", sc.Name, out.Evals, want)
+	}
+	out.Best = best
+	out.WallMs = float64(wall.Nanoseconds()) / 1e6
+	out.EvalsPerSec = float64(out.Evals) / wall.Seconds()
+	return out, nil
+}
+
 // validate re-reads the written report and checks the CI smoke contract:
 // well-formed JSON, non-zero throughput and evaluations in both modes.
 func validate(path string) error {
@@ -471,6 +579,17 @@ func validate(path string) error {
 	var rep report
 	if err := json.Unmarshal(data, &rep); err != nil {
 		return fmt.Errorf("%s is not well-formed JSON: %w", path, err)
+	}
+	if len(rep.Scenarios) > 0 {
+		for _, s := range rep.Scenarios {
+			if s.Evals <= 0 || s.EvalsPerSec <= 0 {
+				return fmt.Errorf("%s: scenario %s recorded zero evaluations (evals=%d evals_per_sec=%v)",
+					path, s.Scenario, s.Evals, s.EvalsPerSec)
+			}
+		}
+		if rep.Sync.Requests == 0 {
+			return nil // scenario-only smoke run
+		}
 	}
 	for _, m := range []modeReport{rep.Sync, rep.Async} {
 		mode := "sync"
@@ -501,6 +620,9 @@ func run() error {
 	clusterClients := flag.Int("cluster-clients", 8, "cluster mode: concurrent clients per study")
 	clusterEps := flag.Int("cluster-eps", 16, "cluster mode: evaluation budget per task")
 	evalMs := flag.Int("eval-ms", 200, "cluster mode: simulated client-side evaluation cost per suggestion")
+	scenario := flag.String("scenario", "", "scenario mode: comma-separated registry scenarios driven through gptune/client instead of the load test ('all' = every registered scenario)")
+	scenarioTasks := flag.Int("scenario-tasks", 2, "scenario mode: tasks per scenario study")
+	scenarioEps := flag.Int("scenario-eps", 8, "scenario mode: evaluation budget per task")
 	flag.Parse()
 	if *clients < 1 {
 		*clients = 1
@@ -540,6 +662,37 @@ func run() error {
 	rep.Config.Seed = *seed
 	rep.Config.GoVersion = runtime.Version()
 	rep.Config.GOMAXPROCS = runtime.GOMAXPROCS(0)
+
+	// Scenario mode replaces the load test: each named registry scenario is
+	// created by name through gptune/client and driven to completion.
+	if *scenario != "" {
+		names := strings.Split(*scenario, ",")
+		if *scenario == "all" {
+			names = bench.Names()
+		}
+		for _, name := range names {
+			sr, err := runScenario(base, strings.TrimSpace(name), *scenarioTasks, *scenarioEps, *seed)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("scenario %s: %d evals (%d tasks x eps %d), best %.6g, %.1f evals/s, constrained=%v\n",
+				sr.Scenario, sr.Evals, sr.Tasks, sr.EpsTot, sr.Best, sr.EvalsPerSec, sr.Constrained)
+			rep.Scenarios = append(rep.Scenarios, sr)
+		}
+		buf, err := json.MarshalIndent(&rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(*out, buf, 0o644); err != nil {
+			return err
+		}
+		if err := validate(*out); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *out)
+		return nil
+	}
 
 	// One connection per client by default, so suggest latency measures the
 	// server, not client-side pool queueing; -conns bounds the pool when the

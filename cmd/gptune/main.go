@@ -1,11 +1,14 @@
-// Command gptune tunes one of the registered application simulators with
-// any of the supported autotuners, optionally archiving evaluations in a
-// history database (the paper's "tuning improves over time" workflow).
+// Command gptune tunes any workload from the scenario registry
+// (internal/bench) with any of the supported autotuners, optionally
+// archiving evaluations in a history database (the paper's "tuning improves
+// over time" workflow). `gptune -app list` prints the catalog.
 //
 // Usage:
 //
+//	gptune -app list                                 # scenario catalog
 //	gptune -app analytical -delta 4 -eps 20
-//	gptune -app qr -tuner opentuner -eps 10
+//	gptune -app qr -app-param nodes=4 -eps 20
+//	gptune -app gemm -tuner opentuner -eps 10
 //	gptune -app superlu-mo -eps 40 -history runs.json
 //	gptune -app qr -eps 20 -checkpoint run.ckpt
 //	gptune -app qr -eps 20 -resume run.ckpt          # after a crash
@@ -18,58 +21,103 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strconv"
 	"strings"
 
 	"repro/gptune"
-	"repro/internal/apps/analytical"
-	"repro/internal/apps/hypre"
-	"repro/internal/apps/mhd"
-	"repro/internal/apps/scalapack"
-	"repro/internal/apps/superlu"
+	"repro/internal/bench"
+	_ "repro/internal/bench/all"
 )
 
-// appProblem returns the problem for a registered application name.
-func appProblem(name string) (*gptune.Problem, error) {
-	switch name {
-	case "analytical":
-		return analytical.Problem(), nil
-	case "qr", "pdgeqrf":
-		return scalapack.NewQR(16, 20000).Problem(), nil
-	case "eigen", "pdsyevx":
-		return scalapack.NewEigen(1, 7000).Problem(), nil
-	case "superlu":
-		return superlu.New(32).Problem(), nil
-	case "superlu-mo":
-		return superlu.New(8).ProblemMO(), nil
-	case "hypre":
-		return hypre.New(1).Problem(), nil
-	case "m3dc1":
-		return mhd.New(mhd.M3DC1).Problem(), nil
-	case "nimrod":
-		return mhd.New(mhd.NIMROD).Problem(), nil
+// appProblem resolves the scenario through the registry — the registry, not
+// this command, is the source of truth for what is tunable.
+func appProblem(name, paramFlag string) (*gptune.Problem, error) {
+	sc, err := bench.Get(name)
+	if err != nil {
+		return nil, err
 	}
-	return nil, fmt.Errorf("unknown app %q (available: analytical, qr, eigen, superlu, superlu-mo, hypre, m3dc1, nimrod)", name)
+	params, err := parseParams(paramFlag)
+	if err != nil {
+		return nil, err
+	}
+	return sc.Problem(params)
+}
+
+// parseParams parses "-app-param k=v,k=v" overrides.
+func parseParams(s string) (bench.Params, error) {
+	if s == "" {
+		return nil, nil
+	}
+	p := make(bench.Params)
+	for _, kv := range strings.Split(s, ",") {
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok {
+			return nil, fmt.Errorf("-app-param %q: want key=value[,key=value...]", kv)
+		}
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return nil, fmt.Errorf("-app-param %s: %v", k, err)
+		}
+		p[strings.TrimSpace(k)] = f
+	}
+	return p, nil
+}
+
+// printCatalog writes the registry catalog for -app list.
+func printCatalog(w *os.File) error {
+	infos, err := bench.Catalog()
+	if err != nil {
+		return err
+	}
+	for _, in := range infos {
+		constrained := ""
+		if in.Constrained {
+			constrained = ", constrained"
+		}
+		optimum := ""
+		if in.HasOptimum {
+			optimum = ", known optimum"
+		}
+		fmt.Fprintf(w, "%-15s %s\n", in.Name, in.Description)
+		fmt.Fprintf(w, "%-15s   α=%d tasks, β=%d tuning, γ=%d outputs%s%s\n",
+			"", in.TaskDim, in.TuningDim, in.OutputDim, constrained, optimum)
+		if len(in.Aliases) > 0 {
+			fmt.Fprintf(w, "%-15s   aliases: %s\n", "", strings.Join(in.Aliases, ", "))
+		}
+		for _, pd := range in.Params {
+			fmt.Fprintf(w, "%-15s   -app-param %s=%g  %s\n", "", pd.Name, pd.Default, pd.Help)
+		}
+	}
+	return nil
 }
 
 func main() {
 	var (
-		app     = flag.String("app", "analytical", "application to tune")
-		tuner   = flag.String("tuner", "gptune", "tuner: gptune (multitask MLA), "+strings.Join(gptune.TunerNames(), ", "))
-		delta   = flag.Int("delta", 3, "number of tasks δ (sampled from the task space)")
-		eps     = flag.Int("eps", 20, "function evaluations per task ε_tot")
-		seed    = flag.Int64("seed", 1, "random seed")
-		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel workers")
-		history = flag.String("history", "", "history database path (loaded and updated)")
-		ckpt    = flag.String("checkpoint", "", "write-ahead log path: every evaluation is persisted as it completes (gptune tuner only)")
-		resume  = flag.String("resume", "", "checkpoint path of a killed run to resume (same app, seed and flags required)")
-		surr    = flag.String("surrogate", "", "surrogate backend: "+strings.Join(gptune.SurrogateKinds(), ", ")+" (default lcm; gptune tuner only)")
-		refit   = flag.Int("refit-every", 0, "relearn surrogate hyperparameters every k-th generation, extending the model incrementally in between (0 or 1 = every generation; gptune tuner only)")
-		induce  = flag.Int("inducing", 0, "inducing points per task for -surrogate sgp (0 = default 128)")
-		warm    = flag.String("warm", "", "checkpoint path of a previous run whose fitted-model snapshots warm-start this run's modeling phases")
+		app      = flag.String("app", "analytical", "scenario to tune: "+strings.Join(bench.Names(), ", ")+" ('list' prints the catalog)")
+		appParam = flag.String("app-param", "", "scenario parameter overrides, key=value[,key=value...] (see -app list)")
+		tuner    = flag.String("tuner", "gptune", "tuner: gptune (multitask MLA), "+strings.Join(gptune.TunerNames(), ", "))
+		delta    = flag.Int("delta", 3, "number of tasks δ (sampled from the task space)")
+		eps      = flag.Int("eps", 20, "function evaluations per task ε_tot")
+		seed     = flag.Int64("seed", 1, "random seed")
+		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel workers")
+		history  = flag.String("history", "", "history database path (loaded and updated)")
+		ckpt     = flag.String("checkpoint", "", "write-ahead log path: every evaluation is persisted as it completes (gptune tuner only)")
+		resume   = flag.String("resume", "", "checkpoint path of a killed run to resume (same app, seed and flags required)")
+		surr     = flag.String("surrogate", "", "surrogate backend: "+strings.Join(gptune.SurrogateKinds(), ", ")+" (default lcm; gptune tuner only)")
+		refit    = flag.Int("refit-every", 0, "relearn surrogate hyperparameters every k-th generation, extending the model incrementally in between (0 or 1 = every generation; gptune tuner only)")
+		induce   = flag.Int("inducing", 0, "inducing points per task for -surrogate sgp (0 = default 128)")
+		warm     = flag.String("warm", "", "checkpoint path of a previous run whose fitted-model snapshots warm-start this run's modeling phases")
 	)
 	flag.Parse()
 
-	p, err := appProblem(*app)
+	if *app == "list" {
+		if err := printCatalog(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	p, err := appProblem(*app, *appParam)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

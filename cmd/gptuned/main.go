@@ -11,7 +11,10 @@
 //
 // API (JSON bodies):
 //
-//	POST /studies                  create a study from a StudySpec
+//	POST /studies                  create a study from a StudySpec; a
+//	                               "scenario" field names a registry
+//	                               workload whose spaces (constraints
+//	                               included) are instantiated server-side
 //	GET  /studies                  list study names
 //	GET  /studies/{s}              progress and status
 //	POST /studies/{s}/suggest      next configuration ({"task": n}, -1 = any)
@@ -33,6 +36,7 @@ import (
 
 	"flag"
 
+	_ "repro/internal/bench/all" // full workload catalog for scenario studies
 	"repro/internal/serve"
 )
 

@@ -9,12 +9,19 @@ import (
 	"log"
 
 	"repro/gptune"
-	"repro/internal/apps/hypre"
+	_ "repro/internal/apps/hypre" // registers the "hypre" scenario
+	"repro/internal/bench"
 )
 
 func main() {
-	app := hypre.New(1) // one 32-core node
-	problem := app.Problem()
+	sc, err := bench.Get("hypre")
+	if err != nil {
+		log.Fatal(err)
+	}
+	problem, err := sc.Problem(bench.Params{"nodes": 1}) // one 32-core node
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	tasks := [][]float64{
 		{40, 40, 40},

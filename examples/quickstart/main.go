@@ -13,7 +13,9 @@ import (
 
 func main() {
 	// 1. Define the problem: one task parameter t, one tuning parameter x,
-	// one minimized output.
+	// one minimized output. (This example builds the problem by hand to show
+	// the API; every shipped workload is also available ready-made from the
+	// registry — `bench.Get("analytical")` — see `gptune -app list`.)
 	problem := &gptune.Problem{
 		Name:    "quickstart",
 		Tasks:   gptune.NewSpace(gptune.Real("t", 0, 10)),

@@ -9,10 +9,20 @@ import (
 
 	"repro/gptune"
 	"repro/internal/apps/scalapack"
+	"repro/internal/bench"
 )
 
 func main() {
-	// 16 Cori-Haswell-like nodes, matrices up to 20000².
+	// 16 Cori-Haswell-like nodes, matrices up to 20000² (the registry
+	// defaults for "qr"); the app instance supplies the Eq. (7) model.
+	sc, err := bench.Get("qr")
+	if err != nil {
+		log.Fatal(err)
+	}
+	problem, err := sc.Problem(nil)
+	if err != nil {
+		log.Fatal(err)
+	}
 	app := scalapack.NewQR(16, 20000)
 
 	tasks := [][]float64{
@@ -29,7 +39,7 @@ func main() {
 	}
 
 	// Plain MLA.
-	plain, err := gptune.Tune(app.Problem(), tasks, opts)
+	plain, err := gptune.Tune(problem, tasks, opts)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -37,7 +47,10 @@ func main() {
 	// MLA with the Eq. (7) performance model; its t_flop/t_msg/t_vol
 	// coefficients are re-fitted from observations before each modeling
 	// phase (the Section 3.3 update phase).
-	withModel := app.Problem()
+	withModel, err := sc.Problem(nil)
+	if err != nil {
+		log.Fatal(err)
+	}
 	withModel.Model = app.PerfModel()
 	optsModel := opts
 	optsModel.FitModelCoeffs = true

@@ -10,11 +10,19 @@ import (
 
 	"repro/gptune"
 	"repro/internal/apps/superlu"
+	"repro/internal/bench"
 )
 
 func main() {
-	app := superlu.New(8) // 8 Cori-Haswell-like nodes
-	problem := app.ProblemMO()
+	sc, err := bench.Get("superlu-mo")
+	if err != nil {
+		log.Fatal(err)
+	}
+	problem, err := sc.Problem(nil) // 8 Cori-Haswell-like nodes by default
+	if err != nil {
+		log.Fatal(err)
+	}
+	app := superlu.New(8) // same instance for default-config comparisons
 
 	// Tune matrix Si2 (task index 0) with γ=2 objectives.
 	result, err := gptune.Tune(problem, [][]float64{{0}}, gptune.Options{

@@ -13,12 +13,19 @@ import (
 	"path/filepath"
 
 	"repro/gptune"
-	"repro/internal/apps/mhd"
+	_ "repro/internal/apps/mhd" // registers the "m3dc1" and "nimrod" scenarios
+	"repro/internal/bench"
 )
 
 func main() {
-	app := mhd.New(mhd.M3DC1)
-	problem := app.Problem()
+	sc, err := bench.Get("m3dc1")
+	if err != nil {
+		log.Fatal(err)
+	}
+	problem, err := sc.Problem(nil)
+	if err != nil {
+		log.Fatal(err)
+	}
 	dbPath := filepath.Join(os.TempDir(), "gptune-transfer-demo.json")
 	defer os.Remove(dbPath)
 

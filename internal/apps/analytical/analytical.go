@@ -6,22 +6,23 @@
 // whose oscillation frequency grows as (t+2)^5, making large-t tasks very
 // hard for black-box optimization. It is the workload of Fig. 2 (shape),
 // Fig. 3 (tuner scaling), and Fig. 4 left (performance-model benefit).
+// The function itself lives in the leaf package eq11 (shared with the core
+// engine's tests); this package wraps it as a core.Problem and registers
+// the "analytical" scenario with the workload registry.
 package analytical
 
 import (
 	"math"
 
+	"repro/internal/apps/analytical/eq11"
+	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/space"
 )
 
 // Objective evaluates Eq. (11).
 func Objective(t, x float64) float64 {
-	s := 0.0
-	for i := 1; i <= 5; i++ {
-		s += math.Sin(2 * math.Pi * x * math.Pow(t+2, float64(i)))
-	}
-	return 1 + math.Exp(-math.Pow(x+1, t+1))*math.Cos(2*math.Pi*x)*s
+	return eq11.Objective(t, x)
 }
 
 // Problem returns the tuning problem with t ∈ [0, 10] and x ∈ [0, 1].
@@ -67,20 +68,20 @@ func hashNormal(x float64) float64 {
 // TrueMin brute-forces the global minimum over x ∈ [0,1] on a grid fine
 // enough to resolve the (t+2)^5 oscillation.
 func TrueMin(t float64) (x, y float64) {
-	// At least 20 points per period of the fastest component.
-	steps := int(20 * math.Pow(t+2, 5))
-	if steps < 1000 {
-		steps = 1000
-	}
-	if steps > 5_000_000 {
-		steps = 5_000_000
-	}
-	bestX, bestY := 0.0, math.Inf(1)
-	for i := 0; i <= steps; i++ {
-		xi := float64(i) / float64(steps)
-		if yi := Objective(t, xi); yi < bestY {
-			bestX, bestY = xi, yi
-		}
-	}
-	return bestX, bestY
+	return eq11.TrueMin(t)
+}
+
+func init() {
+	bench.Register(bench.Scenario{
+		Name:        "analytical",
+		Description: "the paper's Eq. (11) closed-form 1-D benchmark (Figs. 2-4); grid-enumerated optimum",
+		Tags:        []string{"paper", "synthetic"},
+		New: func(p bench.Params) (*core.Problem, error) {
+			return Problem(), nil
+		},
+		Optimum: func(task []float64) (float64, bool) {
+			_, y := eq11.TrueMin(task[0])
+			return y, true
+		},
+	})
 }

@@ -1,0 +1,48 @@
+package bench
+
+import (
+	"hash/fnv"
+	"math"
+)
+
+// The synthetic scenarios derive all their "randomness" — flag effects,
+// interaction structure, per-program constants — from string hashes, so an
+// objective is a fixed mathematical function of its inputs: no state, no
+// seeds, bitwise reproducible across processes. Same technique as
+// analytical.hashNormal and machine.Noise.
+
+// hashU64 hashes the concatenated parts (FNV-1a, then a splitmix64
+// finalizer to decorrelate nearby inputs).
+func hashU64(parts ...string) uint64 {
+	h := fnv.New64a()
+	for _, p := range parts {
+		h.Write([]byte(p))
+		h.Write([]byte{0x1f})
+	}
+	u := h.Sum64() + 0x9E3779B97F4A7C15
+	u ^= u >> 30
+	u *= 0xBF58476D1CE4E5B9
+	u ^= u >> 27
+	u *= 0x94D049BB133111EB
+	u ^= u >> 31
+	return u
+}
+
+// hash01 maps the parts to a uniform value in [0, 1).
+func hash01(parts ...string) float64 {
+	return float64(hashU64(parts...)>>11) / float64(1<<53)
+}
+
+// hashPM maps the parts to a uniform value in [-1, 1).
+func hashPM(parts ...string) float64 {
+	return 2*hash01(parts...) - 1
+}
+
+// hashNorm maps the parts to an approximately standard normal value
+// (Box–Muller on two hash-derived uniforms).
+func hashNorm(parts ...string) float64 {
+	u := hashU64(parts...)
+	u1 := float64(u>>11)/float64(1<<53) + 1e-16
+	u2 := float64((u*0x2545F4914F6CDD1D+0x9E3779B97F4A7C15)>>11) / float64(1<<53)
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}

@@ -1,0 +1,83 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/sample"
+)
+
+// RegressConfig fixes the budget and seed of a regression run, so the
+// per-scenario table in EXPERIMENTS.md is reproducible. Zero fields mean
+// their defaults.
+type RegressConfig struct {
+	Delta   int   // tasks per scenario (default 2)
+	Eps     int   // evaluations per task ε_tot (default 30)
+	Seed    int64 // seed for task sampling and the MLA run (default 1)
+	Workers int   // engine workers (default 1; history is worker-invariant)
+}
+
+func (c *RegressConfig) defaults() {
+	if c.Delta <= 0 {
+		c.Delta = 2
+	}
+	if c.Eps <= 0 {
+		c.Eps = 30
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
+}
+
+// RegressRow is one task of one scenario's regression run: the best value
+// MLA found at the fixed budget, next to the known optimum when the
+// scenario declares one.
+type RegressRow struct {
+	Scenario   string
+	Task       string // human-readable task description
+	Evals      int
+	Best       float64
+	Optimum    float64
+	HasOptimum bool
+}
+
+// Regress runs the full MLA loop on the scenario (default parameters) at
+// the fixed budget and reports best-found vs known optimum per task.
+func Regress(s *Scenario, cfg RegressConfig) ([]RegressRow, error) {
+	cfg.defaults()
+	prob, err := s.Problem(nil)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	tasks, err := sample.FeasibleLHS(prob.Tasks, cfg.Delta, rng)
+	if err != nil {
+		return nil, fmt.Errorf("bench: scenario %q: sampling tasks: %w", s.Name, err)
+	}
+	res, err := core.Run(prob, tasks, core.Options{
+		EpsTot: cfg.Eps, Seed: cfg.Seed, Workers: cfg.Workers,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("bench: scenario %q: %w", s.Name, err)
+	}
+	rows := make([]RegressRow, len(res.Tasks))
+	for i, tr := range res.Tasks {
+		_, y := tr.Best()
+		rows[i] = RegressRow{
+			Scenario: s.Name,
+			Task:     prob.Tasks.Describe(tasks[i]),
+			Evals:    cfg.Eps,
+			Best:     y[0],
+		}
+		if s.Optimum != nil {
+			if opt, ok := s.Optimum(tasks[i]); ok {
+				rows[i].Optimum, rows[i].HasOptimum = opt, true
+			}
+		}
+	}
+	return rows, nil
+}

@@ -6,18 +6,14 @@ import (
 	"math/rand"
 	"testing"
 
+	"repro/internal/apps/analytical/eq11"
 	"repro/internal/space"
 )
 
-// paperObjective is Eq. (11): the paper's analytical benchmark,
-// y(t,x) = 1 + e^{-(x+1)^{t+1}} cos(2πx) Σ_{i=1..5} sin(2πx(t+2)^i).
-func paperObjective(t, x float64) float64 {
-	s := 0.0
-	for i := 1; i <= 5; i++ {
-		s += math.Sin(2 * math.Pi * x * math.Pow(t+2, float64(i)))
-	}
-	return 1 + math.Exp(-math.Pow(x+1, t+1))*math.Cos(2*math.Pi*x)*s
-}
+// paperObjective is Eq. (11): the paper's analytical benchmark, shared from
+// the leaf eq11 package (the full analytical app registers itself with the
+// workload registry, which imports core — a cycle from here).
+var paperObjective = eq11.Objective
 
 func analyticalProblem() *Problem {
 	return &Problem{
@@ -31,16 +27,10 @@ func analyticalProblem() *Problem {
 	}
 }
 
-// trueMin brute-forces the global minimum of Eq. (11) on a fine grid.
+// trueMin brute-forces the global minimum of Eq. (11).
 func trueMin(t float64) float64 {
-	best := math.Inf(1)
-	for i := 0; i <= 100000; i++ {
-		x := float64(i) / 100000
-		if y := paperObjective(t, x); y < best {
-			best = y
-		}
-	}
-	return best
+	_, y := eq11.TrueMin(t)
+	return y
 }
 
 func TestProblemValidate(t *testing.T) {

@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/bench"
+	_ "repro/internal/bench/all" // full scenario catalog
+	"repro/internal/core"
+)
+
+// scenarioProblem resolves a problem through the workload registry — the
+// experiments' single way of obtaining a shipped problem. Like the rest of
+// the experiment construction paths, it panics on misconfiguration (the
+// names and parameters here are statically known-good).
+func scenarioProblem(name string, p bench.Params) *core.Problem {
+	sc, err := bench.Get(name)
+	if err != nil {
+		panic(err)
+	}
+	prob, err := sc.Problem(p)
+	if err != nil {
+		panic(err)
+	}
+	return prob
+}
+
+// BenchRegress runs the full MLA loop on every registered scenario at one
+// fixed budget and seed — the per-scenario regression table EXPERIMENTS.md
+// tracks across PRs.
+func BenchRegress(cfg bench.RegressConfig) []bench.RegressRow {
+	var rows []bench.RegressRow
+	for _, s := range bench.All() {
+		rs, err := bench.Regress(s, cfg)
+		if err != nil {
+			panic(err)
+		}
+		rows = append(rows, rs...)
+	}
+	return rows
+}
+
+// PrintBench writes the regression table.
+func PrintBench(w io.Writer, rows []bench.RegressRow) {
+	fmt.Fprintf(w, "Workload-registry regression: best found by MLA at a fixed budget vs known optimum\n")
+	fmt.Fprintf(w, "%-15s %6s  %13s  %13s  %8s  task\n", "scenario", "evals", "best", "optimum", "gap")
+	for _, r := range rows {
+		opt, gap := "-", "-"
+		if r.HasOptimum {
+			opt = fmt.Sprintf("%13.6g", r.Optimum)
+			gap = fmt.Sprintf("%+.2f%%", 100*(r.Best-r.Optimum)/maxAbs(r.Optimum))
+		}
+		fmt.Fprintf(w, "%-15s %6d  %13.6g  %13s  %8s  %s\n",
+			r.Scenario, r.Evals, r.Best, opt, gap, r.Task)
+	}
+}
+
+func maxAbs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	if v == 0 {
+		return 1
+	}
+	return v
+}

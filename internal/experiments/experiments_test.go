@@ -225,7 +225,7 @@ func TestFig7SingleStructure(t *testing.T) {
 
 func TestRegistryComplete(t *testing.T) {
 	specs := All()
-	want := []string{"Fig2", "Fig3", "Fig4a", "Fig4b", "Fig5a", "Fig5b", "Tab3", "Fig6a", "Fig6b", "Tab4", "Fig7a", "Fig7b"}
+	want := []string{"Fig2", "Fig3", "Fig4a", "Fig4b", "Fig5a", "Fig5b", "Tab3", "Fig6a", "Fig6b", "Tab4", "Fig7a", "Fig7b", "Bench"}
 	if len(specs) != len(want) {
 		t.Fatalf("registry has %d specs, want %d", len(specs), len(want))
 	}

@@ -41,8 +41,8 @@ func Fig4Analytical(delta int, epsTots []int, seed int64, workers int) []Fig4Ana
 	}
 	var rows []Fig4AnalyticalRow
 	for _, eps := range epsTots {
-		base := analytical.Problem()
-		withModel := analytical.Problem()
+		base := scenarioProblem("analytical", nil)
+		withModel := scenarioProblem("analytical", nil)
 		withModel.Model = analytical.NoisyModel(0.1)
 
 		opts := core.Options{
@@ -136,8 +136,8 @@ func Fig4QR(numTasks int, epsTots []int, seed int64, workers int) []Fig4QRRow {
 	if len(epsTots) == 0 {
 		epsTots = []int{10, 20, 40}
 	}
-	app := scalapack.NewQR(16, 20000)
-	base := app.Problem()
+	app := scalapack.NewQR(16, 20000) // supplies the Eq. (7) model below
+	base := scenarioProblem("qr", nil)
 	rng := rand.New(rand.NewSource(seed))
 	tasks, err := sample.FeasibleLHS(base.Tasks, numTasks, rng)
 	if err != nil {
@@ -156,11 +156,11 @@ func Fig4QR(numTasks int, epsTots []int, seed int64, workers int) []Fig4QRRow {
 			ModelMaxIter: 25,
 			Search:       opt.PSOParams{Particles: 20, MaxIter: 30},
 		}
-		resBase, err := core.Run(app.Problem(), tasks, opts)
+		resBase, err := core.Run(scenarioProblem("qr", nil), tasks, opts)
 		if err != nil {
 			panic(err)
 		}
-		withModel := app.Problem()
+		withModel := scenarioProblem("qr", nil)
 		withModel.Model = app.PerfModel()
 		optsM := opts
 		optsM.FitModelCoeffs = true

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"repro/internal/apps/scalapack"
+	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/opt"
 	"repro/internal/sample"
@@ -52,8 +53,7 @@ func Fig5QR(budget int, seed int64, workers int) *Fig5Result {
 	if budget <= 0 {
 		budget = 100
 	}
-	app := scalapack.NewQR(64, 40000)
-	p := app.Problem()
+	p := scenarioProblem("qr", bench.Params{"nodes": 64, "maxdim": 40000})
 	bigTask := []float64{23324, 26545}
 
 	opts := core.Options{
@@ -161,8 +161,7 @@ func Fig5EV(maxEps int, seed int64, workers int) *Fig5EVResult {
 	if maxEps <= 0 {
 		maxEps = 90
 	}
-	app := scalapack.NewEigen(1, 7000)
-	p := app.Problem()
+	p := scenarioProblem("eigen", nil)
 	out := &Fig5EVResult{}
 	opts := core.Options{
 		Seed:         seed,

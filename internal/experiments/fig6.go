@@ -4,8 +4,8 @@ import (
 	"io"
 	"math/rand"
 
-	"repro/internal/apps/scalapack"
 	"repro/internal/apps/superlu"
+	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/opt"
 	"repro/internal/sample"
@@ -70,8 +70,7 @@ func Fig6QR(delta, epsTot int, seed int64, workers int) []Fig6Row {
 	if epsTot <= 0 {
 		epsTot = 10
 	}
-	app := scalapack.NewQR(64, 20000)
-	p := app.Problem()
+	p := scenarioProblem("qr", bench.Params{"nodes": 64})
 	rng := rand.New(rand.NewSource(seed))
 	tasks, err := sample.FeasibleLHS(p.Tasks, delta, rng)
 	if err != nil {
@@ -93,8 +92,7 @@ func Fig6SuperLU(epsTot int, seed int64, workers int) []Fig6Row {
 	if epsTot <= 0 {
 		epsTot = 20
 	}
-	app := superlu.New(32)
-	p := app.Problem()
+	p := scenarioProblem("superlu", nil)
 	var tasks [][]float64
 	var labels []string
 	for i := 0; i < 7; i++ {

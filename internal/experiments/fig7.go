@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/acq"
 	"repro/internal/apps/superlu"
+	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/opt"
 	"repro/internal/sparse"
@@ -37,9 +38,9 @@ func Fig7Single(epsTot int, seed int64, workers int) *Fig7SingleResult {
 	if epsTot <= 0 {
 		epsTot = 80
 	}
-	app := superlu.New(8)
-	task := []float64{0} // Si2
-	mo := app.ProblemMO()
+	app := superlu.New(8) // supplies DefaultConfig/FactorCost comparisons
+	task := []float64{0}  // Si2
+	mo := scenarioProblem("superlu-mo", nil)
 	opts := core.Options{
 		EpsTot:       epsTot,
 		Seed:         seed,
@@ -66,8 +67,8 @@ func Fig7Single(epsTot int, seed int64, workers int) *Fig7SingleResult {
 	// Single-objective runs: tune time only, then memory only, recording
 	// both metrics of the winner for plotting.
 	for _, which := range []int{0, 1} {
-		inner := app.ProblemMO().Objective
-		p1 := app.Problem()
+		inner := scenarioProblem("superlu-mo", nil).Objective
+		p1 := scenarioProblem("superlu", bench.Params{"nodes": 8})
 		p1.Objective = func(task, x []float64) ([]float64, error) {
 			y, err := inner(task, x)
 			if err != nil {
@@ -150,8 +151,7 @@ func Fig7Multi(epsTot int, seed int64, workers int) []Fig7MultiResult {
 	if epsTot <= 0 {
 		epsTot = 20
 	}
-	app := superlu.New(8)
-	mo := app.ProblemMO()
+	mo := scenarioProblem("superlu-mo", nil)
 	opts := core.Options{
 		EpsTot:       epsTot,
 		Seed:         seed,

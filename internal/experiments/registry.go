@@ -1,6 +1,10 @@
 package experiments
 
-import "io"
+import (
+	"io"
+
+	"repro/internal/bench"
+)
 
 // Spec describes one runnable experiment: the paper artifact ID, what it
 // shows, and a runner at either full (reduced-reproduction) or quick scale.
@@ -141,6 +145,17 @@ func All() []Spec {
 					eps = 10
 				}
 				PrintFig7Multi(w, Fig7Multi(eps, seed, workers))
+			},
+		},
+		{
+			ID:          "Bench",
+			Description: "workload-registry regression: MLA best vs known optimum per scenario",
+			Run: func(w io.Writer, quick bool, seed int64, workers int) {
+				cfg := bench.RegressConfig{Delta: 2, Eps: 30, Seed: seed, Workers: workers}
+				if quick {
+					cfg.Delta, cfg.Eps = 1, 10
+				}
+				PrintBench(w, BenchRegress(cfg))
 			},
 		},
 	}

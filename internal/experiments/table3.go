@@ -3,7 +3,6 @@ package experiments
 import (
 	"io"
 
-	"repro/internal/apps/mhd"
 	"repro/internal/core"
 	"repro/internal/opt"
 )
@@ -34,15 +33,15 @@ func Table3MHD(epsSingle int, seed int64, workers int) []Table3MHDRow {
 	}
 	var rows []Table3MHDRow
 	type setup struct {
-		app        *mhd.App
+		scenario   string // registry name; doubles as the row label
 		expensive  float64
 		cheapTasks []float64
 	}
 	for _, su := range []setup{
-		{app: mhd.New(mhd.M3DC1), expensive: 3, cheapTasks: []float64{1, 1, 1}},
-		{app: mhd.New(mhd.NIMROD), expensive: 15, cheapTasks: []float64{3, 3, 3}},
+		{scenario: "m3dc1", expensive: 3, cheapTasks: []float64{1, 1, 1}},
+		{scenario: "nimrod", expensive: 15, cheapTasks: []float64{3, 3, 3}},
 	} {
-		p := su.app.Problem()
+		p := scenarioProblem(su.scenario, nil)
 		opts := core.Options{
 			Seed:         seed,
 			Workers:      workers,
@@ -70,7 +69,7 @@ func Table3MHD(epsSingle int, seed int64, workers int) []Table3MHDRow {
 			panic(err)
 		}
 		rows = append(rows, Table3MHDRow{
-			App:           su.app.Name(),
+			App:           su.scenario,
 			SingleMin:     bestOf(&resS.Tasks[0]),
 			SingleSimTime: sumSimTime(resS),
 			MultiMin:      bestOf(&resM.Tasks[len(resM.Tasks)-1]),

@@ -5,7 +5,7 @@ import (
 	"math"
 	"math/rand"
 
-	"repro/internal/apps/hypre"
+	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/opt"
 	"repro/internal/sample"
@@ -39,8 +39,7 @@ func Table4(delta int, epsTots []int, nodesList []int, seed int64, workers int) 
 	}
 	var out []Table4Row
 	for _, nodes := range nodesList {
-		app := hypre.New(nodes)
-		p := app.Problem()
+		p := scenarioProblem("hypre", bench.Params{"nodes": float64(nodes)})
 		rng := rand.New(rand.NewSource(seed + int64(nodes)))
 		tasks, err := sample.FeasibleLHS(p.Tasks, delta, rng)
 		if err != nil {

@@ -4,7 +4,6 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
-	"math"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -12,18 +11,14 @@ import (
 	"time"
 
 	"repro/gptune/client"
+	"repro/internal/apps/analytical"
 	"repro/internal/histdb"
 	"repro/internal/ring"
 	"repro/internal/serve"
 )
 
-func paperObjective(t, x float64) float64 {
-	s := 0.0
-	for i := 1; i <= 5; i++ {
-		s += math.Sin(2 * math.Pi * x * math.Pow(t+2, float64(i)))
-	}
-	return 1 + math.Exp(-math.Pow(x+1, t+1))*math.Cos(2*math.Pi*x)*s
-}
+// paperObjective is Eq. (11), shared from the analytical app.
+var paperObjective = analytical.Objective
 
 var testTasks = [][]float64{{0}, {1.5}, {3}}
 

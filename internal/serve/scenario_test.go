@@ -1,0 +1,238 @@
+package serve
+
+import (
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+)
+
+// mustScenarioProblem builds the gemm problem the same way the server does,
+// giving the client-side objective and the feasibility oracle.
+func mustScenarioProblem(t *testing.T) *core.Problem {
+	t.Helper()
+	sc, err := bench.Get("gemm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prob, err := sc.Problem(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prob
+}
+
+// newServerAt opens a server over an explicit data directory (so a second
+// server can later resume it) and returns a close func for the HTTP layer.
+func newServerAt(t *testing.T, dir string) (*Server, *testClient, func()) {
+	t.Helper()
+	s, err := NewServer(Config{DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(s.Handler())
+	return s, &testClient{t: t, base: hs.URL}, hs.Close
+}
+
+// gemmTasks are native (m, n, k) problem shapes for the constrained "gemm"
+// registry scenario.
+var gemmTasks = [][]float64{{1024, 1024, 1024}, {4096, 512, 2048}}
+
+// gemmSpec names the scenario instead of describing spaces: the server
+// instantiates task/tuning/output spaces — divisibility constraints
+// included — from the workload registry.
+func gemmSpec(name string, epsTot int, seed int64) StudySpec {
+	return StudySpec{
+		Name:     name,
+		Scenario: "gemm",
+		Tasks:    gemmTasks,
+		Options:  OptionsSpec{EpsTot: epsTot, Seed: seed, Workers: 1},
+	}
+}
+
+// driveProblem runs suggest/report cycles evaluating prob's own objective
+// client-side, and asserts every suggested configuration satisfies the
+// tuning space's constraints — the server must never hand out an infeasible
+// point. Returns the number of evaluations paid.
+func (c *testClient) driveProblem(study string, prob *core.Problem, tasks [][]float64, maxCycles int) int {
+	c.t.Helper()
+	paid := 0
+	for maxCycles < 0 || paid < maxCycles {
+		var sg suggestResponse
+		code := c.post("/studies/"+study+"/suggest", map[string]int{"task": -1}, &sg)
+		if code == http.StatusConflict {
+			time.Sleep(2 * time.Millisecond)
+			continue
+		}
+		if code != http.StatusOK {
+			c.t.Fatalf("suggest: status %d", code)
+		}
+		if sg.Done {
+			break
+		}
+		if sg.Suggestion == nil {
+			c.t.Fatalf("200 suggest response carries neither a suggestion nor done")
+		}
+		if !prob.Tuning.Feasible(sg.Suggestion.X) {
+			c.t.Fatalf("suggestion %v violates the scenario's constraints", sg.Suggestion.X)
+		}
+		y, err := prob.Objective(tasks[sg.Suggestion.Task], sg.Suggestion.X)
+		if err != nil {
+			c.t.Fatalf("objective: %v", err)
+		}
+		paid++
+		var rep reportResponse
+		if code := c.post("/studies/"+study+"/report", reportRequest{ID: sg.Suggestion.ID, Y: y}, &rep); code != http.StatusOK {
+			c.t.Fatalf("report: status %d", code)
+		}
+		if !rep.OK {
+			c.t.Fatalf("report not acknowledged: %+v", rep)
+		}
+	}
+	return paid
+}
+
+// TestServeScenarioParity is the end-to-end acceptance test for server-side
+// scenario instantiation: a constrained registry scenario ("gemm", MC%MR==0
+// and NC%NR==0) created over HTTP by name must visit bitwise the same
+// configurations — all feasible — and record bitwise the same outputs as
+// the in-process batch Run on the registry-built problem.
+func TestServeScenarioParity(t *testing.T) {
+	const epsTot, seed = 8, 11
+
+	prob := mustScenarioProblem(t)
+	if len(prob.Tuning.Constraints) == 0 {
+		t.Fatal("gemm scenario lost its constraints")
+	}
+	batch, err := core.Run(prob, gemmTasks, core.Options{EpsTot: epsTot, Seed: seed, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	_, c := newTestServer(t)
+	if code := c.post("/studies", gemmSpec("gemm-parity", epsTot, seed), nil); code != http.StatusCreated {
+		t.Fatalf("create: status %d", code)
+	}
+	paid := c.driveProblem("gemm-parity", prob, gemmTasks, -1)
+	if want := epsTot * len(gemmTasks); paid != want {
+		t.Fatalf("paid %d evaluations, want %d", paid, want)
+	}
+
+	hist := c.history("gemm-parity")
+	for ti := range hist {
+		h, b := hist[ti], batch.Tasks[ti]
+		if len(h.X) != len(b.X) {
+			t.Fatalf("task %d: %d evaluations over HTTP, %d in batch", ti, len(h.X), len(b.X))
+		}
+		for i := range h.X {
+			for d := range h.X[i] {
+				if math.Float64bits(h.X[i][d]) != math.Float64bits(b.X[i][d]) {
+					t.Errorf("task %d sample %d: X differs: %v vs %v", ti, i, h.X[i], b.X[i])
+				}
+			}
+			if math.Float64bits(h.Y[i][0]) != math.Float64bits(b.Y[i][0]) {
+				t.Errorf("task %d sample %d: Y differs: %v vs %v", ti, i, h.Y[i][0], b.Y[i][0])
+			}
+		}
+	}
+}
+
+// TestServeScenarioRestartResumes kills a scenario study's server mid-study
+// and checks that the restarted server re-resolves the scenario from the
+// persisted spec (constraints and all) and resumes bitwise: history matches
+// an uninterrupted run, no committed evaluation is re-paid, and post-restart
+// suggestions remain feasible.
+func TestServeScenarioRestartResumes(t *testing.T) {
+	const epsTot, seed, killAfter = 6, 5, 5
+
+	prob := mustScenarioProblem(t)
+
+	_, rc := newTestServer(t)
+	if code := rc.post("/studies", gemmSpec("ref", epsTot, seed), nil); code != http.StatusCreated {
+		t.Fatalf("create ref: status %d", code)
+	}
+	rc.driveProblem("ref", prob, gemmTasks, -1)
+	want := rc.history("ref")
+
+	dir := t.TempDir()
+	s1, c1, closeHTTP1 := newServerAt(t, dir)
+	if code := c1.post("/studies", gemmSpec("crashy", epsTot, seed), nil); code != http.StatusCreated {
+		t.Fatalf("create crashy: status %d", code)
+	}
+	paid := c1.driveProblem("crashy", prob, gemmTasks, killAfter)
+	closeHTTP1()
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, c2, closeHTTP2 := newServerAt(t, dir)
+	t.Cleanup(func() { closeHTTP2(); s2.Close() })
+	paid += c2.driveProblem("crashy", prob, gemmTasks, -1)
+	if want := epsTot * len(gemmTasks); paid != want {
+		t.Fatalf("paid %d evaluations across the restart, want exactly %d", paid, want)
+	}
+	got := c2.history("crashy")
+	for ti := range want {
+		if len(got[ti].X) != len(want[ti].X) {
+			t.Fatalf("task %d: resumed history has %d evaluations, want %d", ti, len(got[ti].X), len(want[ti].X))
+		}
+		for i := range want[ti].X {
+			for d := range want[ti].X[i] {
+				if math.Float64bits(got[ti].X[i][d]) != math.Float64bits(want[ti].X[i][d]) {
+					t.Fatalf("task %d sample %d: resumed history diverged", ti, i)
+				}
+			}
+			if math.Float64bits(got[ti].Y[i][0]) != math.Float64bits(want[ti].Y[i][0]) {
+				t.Fatalf("task %d sample %d: resumed output diverged", ti, i)
+			}
+		}
+	}
+}
+
+// TestServeScenarioRejections covers the failure modes of scenario specs:
+// unknown names are rejected with the full catalog enumerated, and specs
+// that both name a scenario and describe spaces are rejected.
+func TestServeScenarioRejections(t *testing.T) {
+	_, c := newTestServer(t)
+
+	bad := gemmSpec("ok", 4, 1)
+	bad.Scenario = "bogus"
+	var eb errorBody
+	if code := c.post("/studies", bad, &eb); code != http.StatusBadRequest {
+		t.Fatalf("unknown scenario: status %d, want 400", code)
+	}
+	for _, name := range []string{"unknown scenario", "gemm", "analytical"} {
+		if !strings.Contains(eb.Error, name) {
+			t.Errorf("unknown-scenario error %q does not mention %q", eb.Error, name)
+		}
+	}
+
+	bad = gemmSpec("ok", 4, 1)
+	bad.Tuning = []ParamSpec{{Name: "x", Kind: "real", Lo: 0, Hi: 1}}
+	if code := c.post("/studies", bad, &eb); code != http.StatusBadRequest {
+		t.Fatalf("scenario+tuning: status %d, want 400", code)
+	}
+	if !strings.Contains(eb.Error, "drop tuning") {
+		t.Errorf("conflicting-spec error %q does not explain the conflict", eb.Error)
+	}
+
+	bad = gemmSpec("ok", 4, 1)
+	bad.ScenarioParams = map[string]float64{"bogus": 1}
+	if code := c.post("/studies", bad, &eb); code != http.StatusBadRequest {
+		t.Fatalf("unknown scenario param: status %d, want 400", code)
+	}
+	if !strings.Contains(eb.Error, "bogus") {
+		t.Errorf("unknown-param error %q does not name the offending key", eb.Error)
+	}
+
+	bad = gemmSpec("ok", 4, 1)
+	bad.Tasks = [][]float64{{1024, 1024}}
+	if code := c.post("/studies", bad, nil); code != http.StatusBadRequest {
+		t.Fatalf("task arity mismatch: status %d, want 400", code)
+	}
+}

@@ -13,20 +13,15 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/apps/analytical"
 	"repro/internal/core"
 	"repro/internal/space"
 )
 
-// paperObjective is Eq. (11) of the paper, the analytical benchmark every
-// core test tunes. The HTTP client evaluates it out of process — the server
-// never sees an Objective.
-func paperObjective(t, x float64) float64 {
-	s := 0.0
-	for i := 1; i <= 5; i++ {
-		s += math.Sin(2 * math.Pi * x * math.Pow(t+2, float64(i)))
-	}
-	return 1 + math.Exp(-math.Pow(x+1, t+1))*math.Cos(2*math.Pi*x)*s
-}
+// paperObjective is Eq. (11) of the paper, shared from the analytical app.
+// The HTTP client evaluates it out of process — the server never sees an
+// Objective.
+var paperObjective = analytical.Objective
 
 var testTasks = [][]float64{{0}, {1.5}, {3}}
 

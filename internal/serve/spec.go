@@ -13,6 +13,7 @@ import (
 	"math"
 	"strings"
 
+	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/space"
 	"repro/internal/surrogate"
@@ -90,14 +91,25 @@ type OptionsSpec struct {
 // is the source of truth after a crash.
 //
 // Constraints (space.Constraint predicates) are Go functions and have no
-// wire form; studies created over HTTP are unconstrained.
+// wire form, so hand-described spaces (Tuning/TaskParams) are always
+// unconstrained. To tune a constrained space over HTTP, name a registered
+// workload via Scenario instead: the server instantiates the spaces —
+// constraints included — from the registry, and a restarted server
+// re-resolves the same name from the persisted spec.
 type StudySpec struct {
-	Name       string      `json:"name"`
-	TaskParams []ParamSpec `json:"task_params,omitempty"` // optional IS description
-	Tuning     []ParamSpec `json:"tuning"`
-	Outputs    []string    `json:"outputs"`
-	Tasks      [][]float64 `json:"tasks"`
-	Options    OptionsSpec `json:"options"`
+	Name string `json:"name"`
+	// Scenario, when non-empty, names a workload-registry scenario
+	// (bench.Get) that supplies the task/tuning/output spaces server-side.
+	// Mutually exclusive with TaskParams/Tuning/Outputs. ScenarioParams are
+	// the scenario's constructor parameters (e.g. {"nodes": 64}); omitted
+	// keys take the scenario's defaults.
+	Scenario       string             `json:"scenario,omitempty"`
+	ScenarioParams map[string]float64 `json:"scenario_params,omitempty"`
+	TaskParams     []ParamSpec        `json:"task_params,omitempty"` // optional IS description
+	Tuning         []ParamSpec        `json:"tuning,omitempty"`
+	Outputs        []string           `json:"outputs,omitempty"`
+	Tasks          [][]float64        `json:"tasks"`
+	Options        OptionsSpec        `json:"options"`
 }
 
 // validName reports whether a study name is safe to use as a file stem.
@@ -122,35 +134,23 @@ func (s *StudySpec) build() (*core.Problem, [][]float64, core.Options, error) {
 	if !validName(s.Name) {
 		return nil, nil, zero, fmt.Errorf("serve: study name %q invalid (letters, digits, '.', '_', '-'; no leading dot)", s.Name)
 	}
-	if len(s.Tuning) == 0 {
-		return nil, nil, zero, fmt.Errorf("serve: study %s has no tuning parameters", s.Name)
-	}
-	if len(s.Outputs) == 0 {
-		return nil, nil, zero, fmt.Errorf("serve: study %s has no outputs", s.Name)
-	}
 	if len(s.Tasks) == 0 {
 		return nil, nil, zero, fmt.Errorf("serve: study %s has no tasks", s.Name)
 	}
 	if _, err := surrogate.New(s.Options.Surrogate); err != nil {
 		return nil, nil, zero, fmt.Errorf("serve: study %s: %w", s.Name, err)
 	}
-	tuningParams := make([]space.Param, len(s.Tuning))
-	for i, ps := range s.Tuning {
-		p, err := ps.param()
-		if err != nil {
-			return nil, nil, zero, fmt.Errorf("serve: study %s tuning: %w", s.Name, err)
-		}
-		tuningParams[i] = p
+	var prob *core.Problem
+	var err error
+	if s.Scenario != "" {
+		prob, err = s.scenarioProblem()
+	} else {
+		prob, err = s.describedProblem()
 	}
-	tuning, err := space.New(tuningParams...)
-	if err != nil {
-		return nil, nil, zero, fmt.Errorf("serve: study %s tuning: %w", s.Name, err)
-	}
-	taskSpace, err := s.taskSpace()
 	if err != nil {
 		return nil, nil, zero, err
 	}
-	dim := taskSpace.Dim()
+	dim := prob.Tasks.Dim()
 	for i, t := range s.Tasks {
 		if len(t) != dim {
 			return nil, nil, zero, fmt.Errorf("serve: study %s task %d has %d values, task space has %d parameters", s.Name, i, len(t), dim)
@@ -160,13 +160,6 @@ func (s *StudySpec) build() (*core.Problem, [][]float64, core.Options, error) {
 				return nil, nil, zero, fmt.Errorf("serve: study %s task %d has a non-finite value", s.Name, i)
 			}
 		}
-	}
-	prob := &core.Problem{
-		Name:    s.Name,
-		Tasks:   taskSpace,
-		Tuning:  tuning,
-		Outputs: space.NewOutputSpace(s.Outputs...),
-		// No Objective: evaluations arrive over HTTP.
 	}
 	o := s.Options
 	opts := core.Options{
@@ -190,6 +183,63 @@ func (s *StudySpec) build() (*core.Problem, [][]float64, core.Options, error) {
 		Async:         o.Async,
 	}
 	return prob, s.Tasks, opts, nil
+}
+
+// scenarioProblem instantiates the study's spaces from the workload
+// registry. This is the only path by which an HTTP-created study gets a
+// constrained tuning space: the scenario's space.Constraint predicates ride
+// along with the Problem, so the engine's feasible sampling and search apply
+// exactly as they do in-process.
+func (s *StudySpec) scenarioProblem() (*core.Problem, error) {
+	if len(s.Tuning) > 0 || len(s.TaskParams) > 0 || len(s.Outputs) > 0 {
+		return nil, fmt.Errorf("serve: study %s: scenario %q supplies the task/tuning/output spaces; drop tuning, task_params and outputs", s.Name, s.Scenario)
+	}
+	sc, err := bench.Get(s.Scenario)
+	if err != nil {
+		return nil, fmt.Errorf("serve: study %s: %w", s.Name, err)
+	}
+	prob, err := sc.Problem(bench.Params(s.ScenarioParams))
+	if err != nil {
+		return nil, fmt.Errorf("serve: study %s: %w", s.Name, err)
+	}
+	prob.Name = s.Name
+	prob.Objective = nil // evaluations arrive over HTTP
+	prob.Model = nil     // performance models need the in-process objective
+	return prob, nil
+}
+
+// describedProblem builds the spaces from the spec's own ParamSpec lists
+// (the original, registry-free creation path).
+func (s *StudySpec) describedProblem() (*core.Problem, error) {
+	if len(s.Tuning) == 0 {
+		return nil, fmt.Errorf("serve: study %s has no tuning parameters", s.Name)
+	}
+	if len(s.Outputs) == 0 {
+		return nil, fmt.Errorf("serve: study %s has no outputs", s.Name)
+	}
+	tuningParams := make([]space.Param, len(s.Tuning))
+	for i, ps := range s.Tuning {
+		p, err := ps.param()
+		if err != nil {
+			return nil, fmt.Errorf("serve: study %s tuning: %w", s.Name, err)
+		}
+		tuningParams[i] = p
+	}
+	tuning, err := space.New(tuningParams...)
+	if err != nil {
+		return nil, fmt.Errorf("serve: study %s tuning: %w", s.Name, err)
+	}
+	taskSpace, err := s.taskSpace()
+	if err != nil {
+		return nil, err
+	}
+	return &core.Problem{
+		Name:    s.Name,
+		Tasks:   taskSpace,
+		Tuning:  tuning,
+		Outputs: space.NewOutputSpace(s.Outputs...),
+		// No Objective: evaluations arrive over HTTP.
+	}, nil
 }
 
 // taskSpace builds the IS from the spec, synthesizing unconstrained real
